@@ -1,0 +1,267 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment; run `go test -bench=. -benchmem`), plus
+// micro-benchmarks of the core operations. Custom metrics report the
+// quantity each paper exhibit plots: "blockIO/op" for the bulk-loading
+// figures (9-11), "pct-of-TB" for the query figures (12-15), and
+// "leaf%%" for Table 1 / Theorem 3.
+//
+// Sizes are benchmark-friendly (tens of thousands of rectangles); the
+// full-scale reproduction is cmd/prbench, whose output is recorded in
+// EXPERIMENTS.md.
+package prtree
+
+import (
+	"fmt"
+	"testing"
+
+	"prtree/internal/bulk"
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/hilbert"
+	"prtree/internal/pseudo"
+	"prtree/internal/rtree"
+	"prtree/internal/storage"
+	"prtree/internal/workload"
+)
+
+const benchMem = 1 << 14 // bulk-loading memory budget (records)
+
+var benchLoaders = []bulk.Loader{bulk.LoaderHilbert, bulk.LoaderHilbert4D, bulk.LoaderPR, bulk.LoaderTGS}
+
+// benchBuild bulk-loads items once per iteration, reporting block I/O.
+func benchBuild(b *testing.B, l bulk.Loader, items []geom.Item) {
+	b.Helper()
+	var lastIO uint64
+	for i := 0; i < b.N; i++ {
+		disk := storage.NewDisk(storage.DefaultBlockSize)
+		pager := storage.NewPager(disk, -1)
+		in := storage.NewItemFileFrom(disk, items)
+		disk.ResetStats()
+		tree := bulk.Load(l, pager, in, bulk.Options{MemoryItems: benchMem})
+		lastIO = disk.Stats().Total()
+		if tree.Len() != len(items) {
+			b.Fatalf("lost items: %d != %d", tree.Len(), len(items))
+		}
+	}
+	b.ReportMetric(float64(lastIO), "blockIO/op")
+}
+
+// benchQueries builds once, then measures query cost per iteration.
+func benchQueries(b *testing.B, l bulk.Loader, items []geom.Item, queries []geom.Rect) {
+	b.Helper()
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	pager := storage.NewPager(disk, -1)
+	in := storage.NewItemFileFrom(disk, items)
+	tree := bulk.Load(l, pager, in, bulk.Options{MemoryItems: benchMem})
+	totalLeafNodes := 0
+	tree.Walk(func(_ storage.PageID, _ int, isLeaf bool, _ []geom.Item) {
+		if isLeaf {
+			totalLeafNodes++
+		}
+	})
+	b.ResetTimer()
+	var leaves, results int
+	for i := 0; i < b.N; i++ {
+		leaves, results = 0, 0
+		for _, q := range queries {
+			st := tree.QueryCount(q)
+			leaves += st.LeavesVisited
+			results += st.Results
+		}
+	}
+	if results > 0 {
+		pct := 100 * float64(leaves) / (float64(results) / float64(tree.Config().Fanout))
+		b.ReportMetric(pct, "pct-of-TB")
+	}
+	b.ReportMetric(100*float64(leaves)/float64(len(queries))/float64(totalLeafNodes), "leaf%")
+}
+
+// --- Figure 9: bulk-loading cost on TIGER-like data ---
+
+func BenchmarkFig9BulkLoadEastern(b *testing.B) {
+	items := dataset.Eastern(40000, 1)
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchBuild(b, l, items) })
+	}
+}
+
+// --- Figure 10: bulk-loading cost vs dataset size ---
+
+func BenchmarkFig10Scaling(b *testing.B) {
+	regions := dataset.EasternRegions(40000, 2)
+	for _, items := range regions {
+		b.Run(fmt.Sprintf("PR/n=%d", len(items)), func(b *testing.B) {
+			benchBuild(b, bulk.LoaderPR, items)
+		})
+	}
+}
+
+// --- Figure 11: TGS bulk-loading cost across distributions ---
+
+func BenchmarkFig11TGS(b *testing.B) {
+	for _, ms := range []float64{0.002, 0.02, 0.2} {
+		items := dataset.Size(20000, ms, 3)
+		b.Run(fmt.Sprintf("size=%g", ms), func(b *testing.B) {
+			benchBuild(b, bulk.LoaderTGS, items)
+		})
+	}
+	for _, a := range []float64{10, 1000, 100000} {
+		items := dataset.Aspect(20000, a, 4)
+		b.Run(fmt.Sprintf("aspect=%g", a), func(b *testing.B) {
+			benchBuild(b, bulk.LoaderTGS, items)
+		})
+	}
+}
+
+// --- Figures 12/13: query cost vs query size on TIGER-like data ---
+
+func BenchmarkFig12QueryWestern(b *testing.B) {
+	items := dataset.Western(40000, 5)
+	world := geom.ItemsMBR(items)
+	queries := workload.Squares(world, 0.01, 50, 6)
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchQueries(b, l, items, queries) })
+	}
+}
+
+func BenchmarkFig13QueryEastern(b *testing.B) {
+	items := dataset.Eastern(40000, 7)
+	world := geom.ItemsMBR(items)
+	queries := workload.Squares(world, 0.01, 50, 8)
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchQueries(b, l, items, queries) })
+	}
+}
+
+// --- Figure 14: query cost vs dataset size ---
+
+func BenchmarkFig14QueryScaling(b *testing.B) {
+	regions := dataset.EasternRegions(40000, 9)
+	for _, items := range regions {
+		world := geom.ItemsMBR(items)
+		queries := workload.Squares(world, 0.01, 50, 10)
+		b.Run(fmt.Sprintf("PR/n=%d", len(items)), func(b *testing.B) {
+			benchQueries(b, bulk.LoaderPR, items, queries)
+		})
+	}
+}
+
+// --- Figure 15: query cost on the synthetic families ---
+
+func BenchmarkFig15Size(b *testing.B) {
+	items := dataset.Size(40000, 0.2, 11)
+	queries := workload.Squares(geom.NewRect(0, 0, 1, 1), 0.01, 50, 12)
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchQueries(b, l, items, queries) })
+	}
+}
+
+func BenchmarkFig15Aspect(b *testing.B) {
+	items := dataset.Aspect(40000, 10000, 13)
+	queries := workload.Squares(geom.NewRect(0, 0, 1, 1), 0.01, 50, 14)
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchQueries(b, l, items, queries) })
+	}
+}
+
+func BenchmarkFig15Skewed(b *testing.B) {
+	items := dataset.Skewed(40000, 7, 15)
+	queries := workload.SkewedSquares(0.01, 7, 50, 16)
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchQueries(b, l, items, queries) })
+	}
+}
+
+// --- Table 1: CLUSTER with skinny probes ---
+
+func BenchmarkTable1Cluster(b *testing.B) {
+	items := dataset.Cluster(50000, dataset.ClusterOptions{}, 17)
+	queries := make([]geom.Rect, 20)
+	for i := range queries {
+		queries[i] = dataset.ClusterProbe(dataset.ClusterOptions{}, int64(18+i))
+	}
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchQueries(b, l, items, queries) })
+	}
+}
+
+// --- Theorem 3: worst-case grid, zero-output line queries ---
+
+func BenchmarkTheorem3(b *testing.B) {
+	items := dataset.WorstCase(50000, 113)
+	queries := make([]geom.Rect, 20)
+	for i := range queries {
+		queries[i] = dataset.WorstCaseProbe(50000, 113, i)
+	}
+	for _, l := range benchLoaders {
+		b.Run(l.String(), func(b *testing.B) { benchQueries(b, l, items, queries) })
+	}
+}
+
+// --- Core micro-benchmarks ---
+
+func BenchmarkPseudoPRBuildInMemory(b *testing.B) {
+	items := dataset.Uniform(50000, 0.001, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([]geom.Item, len(items))
+		copy(work, items)
+		t := pseudo.Build(work, 113, true)
+		if t.N != len(items) {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkPRBulkLoadExternal(b *testing.B) {
+	items := dataset.Uniform(50000, 0.001, 20)
+	benchBuild(b, bulk.LoaderPR, items)
+}
+
+func BenchmarkWindowQueryPR(b *testing.B) {
+	items := dataset.Uniform(100000, 0.001, 21)
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	tree := bulk.FromItems(bulk.LoaderPR, storage.NewPager(disk, -1), items,
+		bulk.Options{MemoryItems: benchMem})
+	queries := workload.Squares(geom.NewRect(0, 0, 1, 1), 0.001, 100, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := tree.QueryCount(queries[i%len(queries)])
+		if st.Results < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkGuttmanInsert(b *testing.B) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	tree := rtree.New(storage.NewPager(disk, -1), rtree.Config{})
+	items := dataset.Uniform(200000, 0.001, 23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Insert(items[i%len(items)])
+	}
+}
+
+func BenchmarkLogMethodInsert(b *testing.B) {
+	d := NewDynamic(nil)
+	items := dataset.Uniform(200000, 0.001, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Insert(Item{Rect: items[i%len(items)].Rect, ID: uint32(i)})
+	}
+}
+
+func BenchmarkHilbert2DIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = hilbert.Index2D(uint32(i)&0xffff, uint32(i*7)&0xffff, 16)
+	}
+}
+
+func BenchmarkHilbert4DIndex(b *testing.B) {
+	coords := []uint32{1, 2, 3, 4}
+	for i := 0; i < b.N; i++ {
+		coords[0] = uint32(i) & 0xffff
+		_ = hilbert.Index(coords, 16)
+	}
+}

@@ -1,0 +1,105 @@
+// Command prbench regenerates the paper's evaluation: every figure and
+// table of Section 3 plus the Theorem 3 demonstration and the Lemma 2
+// empirical check, printed as aligned text tables.
+//
+// Usage:
+//
+//	prbench [-scale F] [-queries N] [-mem M] [-seed S] [-only ids]
+//
+// -scale multiplies the default dataset sizes (~120k rectangles at 1.0;
+// the paper used 10-16.7M — scale 100 reproduces that on a large machine).
+// -only selects a comma-separated subset of experiment ids, e.g.
+// "fig9,table1".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"prtree/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
+	queries := flag.Int("queries", 100, "window queries per measurement point")
+	mem := flag.Int("mem", 0, "bulk-loading memory budget in records (0 = default 65536)")
+	seed := flag.Int64("seed", 2004, "generator seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	ids := []string{
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15size", "fig15aspect", "fig15skewed",
+		"table1", "theorem3", "lemma2", "utilization",
+		"ablation-priority", "ablation-roundb", "ablation-cache",
+		"futurework",
+	}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Queries:     *queries,
+		MemoryItems: *mem,
+		Seed:        *seed,
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			ok := false
+			for _, known := range ids {
+				if id == known {
+					ok = true
+				}
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "prbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	runners := map[string]func(experiments.Config) experiments.Table{
+		"fig9":              experiments.Fig9,
+		"fig10":             experiments.Fig10,
+		"fig11":             experiments.Fig11,
+		"fig12":             experiments.Fig12,
+		"fig13":             experiments.Fig13,
+		"fig14":             experiments.Fig14,
+		"fig15size":         experiments.Fig15Size,
+		"fig15aspect":       experiments.Fig15Aspect,
+		"fig15skewed":       experiments.Fig15Skewed,
+		"table1":            experiments.Table1,
+		"theorem3":          experiments.Theorem3,
+		"lemma2":            experiments.Lemma2Check,
+		"utilization":       experiments.Utilization,
+		"ablation-priority": experiments.AblationPriority,
+		"ablation-roundb":   experiments.AblationRoundToB,
+		"ablation-cache":    experiments.AblationCache,
+		"futurework":        experiments.FutureWorkUpdates,
+	}
+
+	fmt.Printf("PR-tree reproduction suite (scale=%g queries=%d seed=%d)\n\n", *scale, *queries, *seed)
+	total := time.Now()
+	for _, id := range ids {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		start := time.Now()
+		table := runners[id](cfg)
+		fmt.Print(table.Render())
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(total).Seconds())
+}

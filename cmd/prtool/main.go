@@ -1,0 +1,167 @@
+// Command prtool builds an index over a datagen binary file and inspects
+// or queries it from the command line.
+//
+// Usage:
+//
+//	prtool -in data.bin -loader PR stats
+//	prtool -in data.bin -loader H4 query 0.1,0.1,0.2,0.2
+//	prtool -in data.bin bench -queries 100 -area 0.01
+//
+// Subcommands:
+//
+//	stats   print tree shape, utilization and build I/O
+//	query   run one window query (x1,y1,x2,y2) and print matches
+//	bench   run random square queries and report the paper's cost metric
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"prtree/internal/bulk"
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+	"prtree/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "input dataset (datagen -format bin)")
+	loaderName := flag.String("loader", "PR", "bulk loader: PR|H|H4|STR|TGS")
+	mem := flag.Int("mem", 0, "memory budget in records (0 = default)")
+	queries := flag.Int("queries", 100, "bench: number of queries")
+	area := flag.Float64("area", 0.01, "bench: query area fraction")
+	seed := flag.Int64("seed", 1, "bench: query seed")
+	flag.Parse()
+
+	if *in == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: prtool -in data.bin [-loader PR] stats|query x1,y1,x2,y2|bench")
+		os.Exit(2)
+	}
+	loader, err := parseLoader(*loaderName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prtool:", err)
+		os.Exit(2)
+	}
+	items, err := readItems(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prtool:", err)
+		os.Exit(1)
+	}
+
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	pager := storage.NewPager(disk, -1)
+	file := storage.NewItemFileFrom(disk, items)
+	disk.ResetStats()
+	tree := bulk.Load(loader, pager, file, bulk.Options{MemoryItems: *mem})
+	buildIO := disk.Stats()
+
+	switch flag.Arg(0) {
+	case "stats":
+		leaf, internal := tree.Utilization()
+		fmt.Printf("loader:        %v\n", loader)
+		fmt.Printf("items:         %d\n", tree.Len())
+		fmt.Printf("height:        %d\n", tree.Height())
+		fmt.Printf("nodes:         %d\n", tree.Nodes())
+		fmt.Printf("leaf fill:     %.2f%%\n", 100*leaf)
+		fmt.Printf("internal fill: %.2f%%\n", 100*internal)
+		fmt.Printf("build I/O:     %d reads, %d writes\n", buildIO.Reads, buildIO.Writes)
+		if err := tree.Validate(); err != nil {
+			fmt.Printf("VALIDATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("validation:    ok")
+	case "query":
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "prtool: query needs x1,y1,x2,y2")
+			os.Exit(2)
+		}
+		q, err := parseRect(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prtool:", err)
+			os.Exit(2)
+		}
+		st := tree.Query(q, func(it geom.Item) bool {
+			fmt.Printf("%d\t%g,%g,%g,%g\n", it.ID, it.Rect.MinX, it.Rect.MinY, it.Rect.MaxX, it.Rect.MaxY)
+			return true
+		})
+		fmt.Printf("# %d results, %d leaf blocks, %d nodes visited\n",
+			st.Results, st.LeavesVisited, st.NodesVisited)
+	case "bench":
+		world := tree.MBR()
+		qs := workload.Squares(world, *area, *queries, *seed)
+		var leaves, results int
+		for _, q := range qs {
+			st := tree.QueryCount(q)
+			leaves += st.LeavesVisited
+			results += st.Results
+		}
+		fanout := tree.Config().Fanout
+		fmt.Printf("queries:      %d squares of %.2f%% area\n", *queries, *area*100)
+		fmt.Printf("avg T:        %.1f\n", float64(results)/float64(*queries))
+		fmt.Printf("avg leaf I/O: %.1f\n", float64(leaves)/float64(*queries))
+		if results > 0 {
+			pct := 100 * float64(leaves) / (float64(results) / float64(fanout))
+			fmt.Printf("cost:         %.1f%% of T/B\n", pct)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "prtool: unknown subcommand %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func parseLoader(s string) (bulk.Loader, error) {
+	switch strings.ToUpper(s) {
+	case "PR":
+		return bulk.LoaderPR, nil
+	case "H":
+		return bulk.LoaderHilbert, nil
+	case "H4":
+		return bulk.LoaderHilbert4D, nil
+	case "STR":
+		return bulk.LoaderSTR, nil
+	case "TGS":
+		return bulk.LoaderTGS, nil
+	default:
+		return 0, fmt.Errorf("unknown loader %q", s)
+	}
+}
+
+func parseRect(s string) (geom.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Rect{}, fmt.Errorf("rect needs 4 comma-separated numbers, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		v[i] = f
+	}
+	return geom.NewRect(v[0], v[1], v[2], v[3]), nil
+}
+
+func readItems(path string) ([]geom.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var items []geom.Item
+	buf := make([]byte, storage.ItemSize)
+	for {
+		_, err := io.ReadFull(f, buf)
+		if err == io.EOF {
+			return items, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		items = append(items, storage.DecodeItem(buf))
+	}
+}

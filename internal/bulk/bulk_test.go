@@ -1,0 +1,278 @@
+package bulk
+
+import (
+	"math/rand"
+	"testing"
+
+	"prtree/internal/geom"
+	"prtree/internal/rtree"
+	"prtree/internal/storage"
+)
+
+func randItems(n int, seed int64) []geom.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]geom.Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = geom.Item{
+			Rect: geom.NewRect(x, y, x+rng.Float64()*0.01, y+rng.Float64()*0.01),
+			ID:   uint32(i),
+		}
+	}
+	return items
+}
+
+func allLoaders() []Loader {
+	return []Loader{LoaderHilbert, LoaderHilbert4D, LoaderSTR, LoaderTGS, LoaderPR}
+}
+
+func loadOn(tb testing.TB, l Loader, items []geom.Item, opt Options) *rtree.Tree {
+	tb.Helper()
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	pager := storage.NewPager(disk, -1)
+	return FromItems(l, pager, items, opt)
+}
+
+func TestLoaderStrings(t *testing.T) {
+	want := map[Loader]string{
+		LoaderHilbert: "H", LoaderHilbert4D: "H4", LoaderSTR: "STR",
+		LoaderTGS: "TGS", LoaderPR: "PR",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("loader %d = %q, want %q", l, l.String(), s)
+		}
+	}
+	if Loader(99).String() != "?" {
+		t.Error("unknown loader should print ?")
+	}
+}
+
+func TestAllLoadersValidTrees(t *testing.T) {
+	items := randItems(5000, 1)
+	for _, l := range allLoaders() {
+		tr := loadOn(t, l, items, Options{Fanout: 16, MemoryItems: 1024})
+		if tr.Len() != len(items) {
+			t.Fatalf("%v: len = %d", l, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+	}
+}
+
+func TestAllLoadersQueryCorrect(t *testing.T) {
+	items := randItems(3000, 2)
+	rng := rand.New(rand.NewSource(3))
+	queries := make([]geom.Rect, 25)
+	for i := range queries {
+		queries[i] = geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	for _, l := range allLoaders() {
+		tr := loadOn(t, l, items, Options{Fanout: 16, MemoryItems: 1024})
+		for _, q := range queries {
+			if err := rtree.CheckQueryAgainstBruteForce(tr, items, q); err != nil {
+				t.Fatalf("%v: %v", l, err)
+			}
+		}
+	}
+}
+
+func TestAllLoadersEmptyAndTiny(t *testing.T) {
+	for _, l := range allLoaders() {
+		tr := loadOn(t, l, nil, Options{})
+		if tr.Len() != 0 || tr.Validate() != nil {
+			t.Fatalf("%v: broken empty tree", l)
+		}
+		one := randItems(1, 4)
+		tr = loadOn(t, l, one, Options{})
+		if tr.Len() != 1 || tr.Height() != 1 {
+			t.Fatalf("%v: single-item tree len=%d h=%d", l, tr.Len(), tr.Height())
+		}
+		if err := rtree.CheckQueryAgainstBruteForce(tr, one, geom.NewRect(0, 0, 2, 2)); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+	}
+}
+
+func TestAllLoadersExactlyOneNode(t *testing.T) {
+	for _, l := range allLoaders() {
+		items := randItems(16, 5)
+		tr := loadOn(t, l, items, Options{Fanout: 16})
+		if tr.Height() != 1 {
+			t.Fatalf("%v: height %d for exactly-full leaf", l, tr.Height())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUtilizationAbove99Percent(t *testing.T) {
+	// Paper §3.3: every loader achieved > 99% space utilization. Use the
+	// real fanout (113) and a dataset large enough for many leaves.
+	items := randItems(113*150, 6)
+	for _, l := range allLoaders() {
+		tr := loadOn(t, l, items, Options{MemoryItems: 8192})
+		leaf, _ := tr.Utilization()
+		min := 0.99
+		if l == LoaderTGS || l == LoaderPR {
+			// TGS rounds subtree sizes to powers of B (one underfull node
+			// per level); PR's kd leaves round to B with one remainder per
+			// in-memory subtree. Both still stay very high.
+			min = 0.95
+		}
+		if leaf < min {
+			t.Errorf("%v: leaf utilization %.4f < %.2f", l, leaf, min)
+		}
+	}
+}
+
+func TestBuildIOOrdering(t *testing.T) {
+	// Figure 9: I/O cost ordering H (cheapest) < PR < TGS, with
+	// PR within a small factor of H and TGS well above PR.
+	items := randItems(40000, 7)
+	opt := Options{Fanout: 113, MemoryItems: 4096}
+	cost := map[Loader]uint64{}
+	for _, l := range []Loader{LoaderHilbert, LoaderPR, LoaderTGS} {
+		disk := storage.NewDisk(storage.DefaultBlockSize)
+		pager := storage.NewPager(disk, -1)
+		in := storage.NewItemFileFrom(disk, items)
+		disk.ResetStats()
+		tr := Load(l, pager, in, opt)
+		cost[l] = disk.Stats().Total()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+	}
+	if !(cost[LoaderHilbert] < cost[LoaderPR] && cost[LoaderPR] < cost[LoaderTGS]) {
+		t.Errorf("I/O ordering violated: H=%d PR=%d TGS=%d",
+			cost[LoaderHilbert], cost[LoaderPR], cost[LoaderTGS])
+	}
+	if cost[LoaderPR] > 8*cost[LoaderHilbert] {
+		t.Errorf("PR build cost %d too far above H %d", cost[LoaderPR], cost[LoaderHilbert])
+	}
+	if cost[LoaderTGS] < 2*cost[LoaderPR] {
+		t.Errorf("TGS cost %d suspiciously close to PR %d", cost[LoaderTGS], cost[LoaderPR])
+	}
+}
+
+func TestLoadersFreeScratchSpace(t *testing.T) {
+	items := randItems(8000, 8)
+	for _, l := range allLoaders() {
+		disk := storage.NewDisk(storage.DefaultBlockSize)
+		pager := storage.NewPager(disk, -1)
+		tr := FromItems(l, pager, items, Options{Fanout: 32, MemoryItems: 2048})
+		if disk.PagesInUse() != tr.Nodes() {
+			t.Errorf("%v: %d pages in use for %d tree nodes (scratch leaked)",
+				l, disk.PagesInUse(), tr.Nodes())
+		}
+	}
+}
+
+func TestTGSHeight(t *testing.T) {
+	cases := []struct{ n, fanout, want int }{
+		{1, 113, 1}, {113, 113, 1}, {114, 113, 2}, {113 * 113, 113, 2},
+		{113*113 + 1, 113, 3}, {5, 2, 3}, {8, 2, 3}, {9, 2, 4},
+	}
+	for _, c := range cases {
+		if got := tgsHeight(c.n, c.fanout); got != c.want {
+			t.Errorf("tgsHeight(%d,%d) = %d, want %d", c.n, c.fanout, got, c.want)
+		}
+	}
+}
+
+func TestTGSPrefersVerticalCutOnColumns(t *testing.T) {
+	// Mirror of the Theorem 3 intuition: on well-separated vertical
+	// columns, TGS should cut between columns (keeping each column whole)
+	// rather than across rows.
+	var items []geom.Item
+	id := uint32(0)
+	for col := 0; col < 8; col++ {
+		for row := 0; row < 16; row++ {
+			x := float64(col)
+			y := float64(row) / 16
+			items = append(items, geom.Item{Rect: geom.PointRect(x+0.5, y), ID: id})
+			id++
+		}
+	}
+	tr := loadOn(t, LoaderTGS, items, Options{Fanout: 16})
+	// Every leaf should span exactly one column (width 0).
+	bad := 0
+	tr.Walk(func(_ storage.PageID, _ int, isLeaf bool, entries []geom.Item) {
+		if !isLeaf {
+			return
+		}
+		mbr := geom.ItemsMBR(entries)
+		if mbr.Width() > 0 {
+			bad++
+		}
+	})
+	if bad > 0 {
+		t.Errorf("%d TGS leaves span multiple columns", bad)
+	}
+}
+
+func TestPRTreeHandlesExtremeAspect(t *testing.T) {
+	// Long skinny rectangles: PR must stay valid and correct.
+	rng := rand.New(rand.NewSource(9))
+	items := make([]geom.Item, 4000)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		if i%2 == 0 {
+			items[i] = geom.Item{Rect: geom.NewRect(x, y, x+0.5, y+1e-5), ID: uint32(i)}
+		} else {
+			items[i] = geom.Item{Rect: geom.NewRect(x, y, x+1e-5, y+0.5), ID: uint32(i)}
+		}
+	}
+	tr := loadOn(t, LoaderPR, items, Options{Fanout: 16, MemoryItems: 1024})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		if err := rtree.CheckQueryAgainstBruteForce(tr, items, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadersWithDefaultOptions(t *testing.T) {
+	items := randItems(1000, 10)
+	for _, l := range allLoaders() {
+		tr := loadOn(t, l, items, Options{})
+		if tr.Config().Fanout != 113 {
+			t.Errorf("%v: default fanout = %d", l, tr.Config().Fanout)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+	}
+}
+
+func TestLoadConsumesInput(t *testing.T) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	pager := storage.NewPager(disk, -1)
+	in := storage.NewItemFileFrom(disk, randItems(500, 11))
+	tr := Load(LoaderHilbert, pager, in, Options{Fanout: 16})
+	// Input pages must have been freed.
+	if disk.PagesInUse() != tr.Nodes() {
+		t.Errorf("input not freed: %d pages in use, %d tree nodes", disk.PagesInUse(), tr.Nodes())
+	}
+}
+
+func TestDuplicateRectsAllLoaders(t *testing.T) {
+	items := make([]geom.Item, 600)
+	for i := range items {
+		items[i] = geom.Item{Rect: geom.NewRect(0.4, 0.4, 0.6, 0.6), ID: uint32(i)}
+	}
+	for _, l := range allLoaders() {
+		tr := loadOn(t, l, items, Options{Fanout: 16, MemoryItems: 1024})
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if got := tr.QueryCount(geom.NewRect(0.5, 0.5, 0.5, 0.5)); got.Results != 600 {
+			t.Fatalf("%v: found %d of 600 duplicates", l, got.Results)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestFutureWorkUpdatesShape(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Scale = 0.25
+	tb := FutureWorkUpdates(cfg)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Round 0: all static variants identical (same bulk-loaded tree).
+	r0 := tb.Rows[0]
+	if r0[1] != r0[2] || r0[1] != r0[3] {
+		t.Errorf("round 0 should be identical across static variants: %v", r0)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	guttman := parsePct(t, last[1])
+	rebuilt := parsePct(t, last[3])
+	// The paper's §4 concern: heuristic updates erode the bulk-loaded
+	// quality. After four churn rounds the updated tree must be measurably
+	// worse than a fresh rebuild of the same live set.
+	if guttman <= rebuilt {
+		t.Errorf("updates should degrade queries: guttman %.0f%% vs rebuilt %.0f%%", guttman, rebuilt)
+	}
+	// And everything stays finite/sane.
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if cell == "inf" {
+				t.Errorf("infinite cost in %v", row)
+			}
+		}
+	}
+}

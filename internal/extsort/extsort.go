@@ -1,0 +1,210 @@
+// Package extsort implements the external multiway merge sort that every
+// bulk-loading algorithm in the paper relies on: run formation with M
+// records in main memory followed by (M/B)-way merge passes, for a total of
+// O((N/B) log_{M/B}(N/B)) block I/Os. All reads and writes go through
+// storage.ItemFile, so the sort's I/O cost is measured, not modeled.
+package extsort
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// Key is a sort key with a total order: Main first, then Tie (conventionally
+// the rectangle id, which makes every ordering strict even with duplicate
+// coordinates — the paper assumes distinct coordinates; the tie-break
+// removes that assumption).
+type Key struct {
+	Main uint64
+	Tie  uint32
+}
+
+// Less reports whether k orders strictly before o.
+func (k Key) Less(o Key) bool {
+	if k.Main != o.Main {
+		return k.Main < o.Main
+	}
+	return k.Tie < o.Tie
+}
+
+// KeyFunc extracts the sort key of an item.
+type KeyFunc func(geom.Item) Key
+
+// Float64Key maps a float64 to a uint64 such that the uint64 order matches
+// the float64 order (for all non-NaN values, with -0 == +0 ordered by bits).
+// This is the classic sign-flip trick.
+func Float64Key(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | (1 << 63)
+}
+
+// AxisKey returns a KeyFunc ordering items by the axis-th corner-transform
+// coordinate (0=xmin, 1=ymin, 2=xmax, 3=ymax), ties broken by id. Axes 2
+// and 3 sort ascending; callers wanting "maximal xmax first" iterate from
+// the tail or use ReverseAxisKey.
+func AxisKey(axis int) KeyFunc {
+	return func(it geom.Item) Key {
+		return Key{Main: Float64Key(it.Rect.Coord(axis)), Tie: it.ID}
+	}
+}
+
+// ReverseAxisKey orders items by descending axis coordinate.
+func ReverseAxisKey(axis int) KeyFunc {
+	return func(it geom.Item) Key {
+		return Key{Main: ^Float64Key(it.Rect.Coord(axis)), Tie: it.ID}
+	}
+}
+
+// UintKey adapts a uint64-valued function (e.g. a Hilbert index) into a
+// KeyFunc with id tie-break.
+func UintKey(f func(geom.Item) uint64) KeyFunc {
+	return func(it geom.Item) Key {
+		return Key{Main: f(it), Tie: it.ID}
+	}
+}
+
+// Config controls the sort's memory budget.
+type Config struct {
+	// MemoryItems is M: the number of records that fit in main memory.
+	// Runs are formed with M records; merges use up to M/B-1 input streams.
+	MemoryItems int
+}
+
+// Sort externally sorts in by key and returns a new sealed file with the
+// sorted records. The input file is left intact; intermediate runs are
+// freed. MemoryItems must allow at least three blocks (two inputs + one
+// output) or Sort panics.
+func Sort(disk *storage.Disk, in *storage.ItemFile, key KeyFunc, cfg Config) *storage.ItemFile {
+	perBlock := storage.ItemsPerBlock(disk.BlockSize())
+	m := cfg.MemoryItems
+	if m < 3*perBlock {
+		panic("extsort: memory budget below three blocks")
+	}
+	if in.Len() == 0 {
+		out := storage.NewItemFile(disk)
+		out.Seal()
+		return out
+	}
+
+	runs := formRuns(disk, in, key, m)
+	fanIn := m/perBlock - 1
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	for len(runs) > 1 {
+		var next []*storage.ItemFile
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			next = append(next, mergeRuns(disk, runs[lo:hi], key))
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// SortItems sorts an in-memory slice by key (used when N <= M, where the
+// paper switches to internal-memory construction). The slice is sorted in
+// place and also returned.
+func SortItems(items []geom.Item, key KeyFunc) []geom.Item {
+	keys := make([]Key, len(items))
+	for i, it := range items {
+		keys[i] = key(it)
+	}
+	sort.Sort(&keyedItems{items: items, keys: keys})
+	return items
+}
+
+type keyedItems struct {
+	items []geom.Item
+	keys  []Key
+}
+
+func (s *keyedItems) Len() int           { return len(s.items) }
+func (s *keyedItems) Less(i, j int) bool { return s.keys[i].Less(s.keys[j]) }
+func (s *keyedItems) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func formRuns(disk *storage.Disk, in *storage.ItemFile, key KeyFunc, m int) []*storage.ItemFile {
+	var runs []*storage.ItemFile
+	r := in.Reader()
+	buf := make([]geom.Item, 0, m)
+	for {
+		buf = buf[:0]
+		for len(buf) < m {
+			it, ok := r.Next()
+			if !ok {
+				break
+			}
+			buf = append(buf, it)
+		}
+		if len(buf) == 0 {
+			break
+		}
+		SortItems(buf, key)
+		runs = append(runs, storage.NewItemFileFrom(disk, buf))
+		if len(buf) < m {
+			break
+		}
+	}
+	return runs
+}
+
+type mergeHead struct {
+	item geom.Item
+	key  Key
+	src  int
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].key.Less(h[j].key) }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func mergeRuns(disk *storage.Disk, runs []*storage.ItemFile, key KeyFunc) *storage.ItemFile {
+	out := storage.NewItemFile(disk)
+	readers := make([]*storage.ItemReader, len(runs))
+	h := make(mergeHeap, 0, len(runs))
+	for i, run := range runs {
+		readers[i] = run.Reader()
+		if it, ok := readers[i].Next(); ok {
+			h = append(h, mergeHead{item: it, key: key(it), src: i})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		head := h[0]
+		out.Append(head.item)
+		if it, ok := readers[head.src].Next(); ok {
+			h[0] = mergeHead{item: it, key: key(it), src: head.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	out.Seal()
+	for _, run := range runs {
+		run.Free()
+	}
+	return out
+}

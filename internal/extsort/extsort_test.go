@@ -1,0 +1,254 @@
+package extsort
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+func randItems(n int, seed int64) []geom.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]geom.Item, n)
+	for i := range items {
+		x, y := rng.Float64()*1000-500, rng.Float64()*1000-500
+		items[i] = geom.Item{
+			Rect: geom.NewRect(x, y, x+rng.Float64(), y+rng.Float64()),
+			ID:   uint32(i),
+		}
+	}
+	return items
+}
+
+func TestFloat64KeyOrderPreserving(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -2.5, -1, -0.001, 0, 0.001, 1, 2.5, 1e300, math.Inf(1)}
+	for i := 0; i < len(vals)-1; i++ {
+		if !(Float64Key(vals[i]) < Float64Key(vals[i+1])) {
+			t.Errorf("key order broken between %g and %g", vals[i], vals[i+1])
+		}
+	}
+}
+
+func TestFloat64KeyQuick(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a == b {
+			return true // -0 and +0 compare equal as floats but differ in bits; skip
+		}
+		return (a < b) == (Float64Key(a) < Float64Key(b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyLessTieBreak(t *testing.T) {
+	a := Key{Main: 5, Tie: 1}
+	b := Key{Main: 5, Tie: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("tie-break by Tie failed")
+	}
+	c := Key{Main: 4, Tie: 9}
+	if !c.Less(a) {
+		t.Error("Main ordering failed")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func checkSortedByAxis(t *testing.T, items []geom.Item, axis int) {
+	t.Helper()
+	for i := 1; i < len(items); i++ {
+		prev, cur := items[i-1], items[i]
+		pc, cc := prev.Rect.Coord(axis), cur.Rect.Coord(axis)
+		if pc > cc || (pc == cc && prev.ID >= cur.ID) {
+			t.Fatalf("not sorted at %d: (%g,%d) then (%g,%d)", i, pc, prev.ID, cc, cur.ID)
+		}
+	}
+}
+
+func TestSortSmallSingleRun(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	items := randItems(200, 1)
+	in := storage.NewItemFileFrom(d, items)
+	out := Sort(d, in, AxisKey(0), Config{MemoryItems: 10000})
+	got := out.ReadAll()
+	if len(got) != 200 {
+		t.Fatalf("len = %d", len(got))
+	}
+	checkSortedByAxis(t, got, 0)
+}
+
+func TestSortMultiPass(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	per := storage.ItemsPerBlock(storage.DefaultBlockSize)
+	n := per * 50
+	items := randItems(n, 2)
+	in := storage.NewItemFileFrom(d, items)
+	// Tiny memory: runs of 3 blocks, fan-in 2 => several merge passes.
+	out := Sort(d, in, AxisKey(2), Config{MemoryItems: 3 * per})
+	got := out.ReadAll()
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	checkSortedByAxis(t, got, 2)
+}
+
+func TestSortAllAxes(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	items := randItems(1500, 3)
+	for axis := 0; axis < 4; axis++ {
+		in := storage.NewItemFileFrom(d, items)
+		out := Sort(d, in, AxisKey(axis), Config{MemoryItems: 500})
+		checkSortedByAxis(t, out.ReadAll(), axis)
+		out.Free()
+		in.Free()
+	}
+}
+
+func TestSortPreservesMultiset(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	items := randItems(777, 4)
+	in := storage.NewItemFileFrom(d, items)
+	out := Sort(d, in, AxisKey(1), Config{MemoryItems: 400})
+	got := out.ReadAll()
+	seen := make(map[uint32]geom.Item, len(got))
+	for _, it := range got {
+		seen[it.ID] = it
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("lost items: %d unique of %d", len(seen), len(items))
+	}
+	for _, it := range items {
+		if seen[it.ID] != it {
+			t.Fatalf("item %d corrupted", it.ID)
+		}
+	}
+}
+
+func TestSortEmptyAndSingle(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	empty := storage.NewItemFileFrom(d, nil)
+	out := Sort(d, empty, AxisKey(0), Config{MemoryItems: 1000})
+	if out.Len() != 0 {
+		t.Errorf("empty sort len = %d", out.Len())
+	}
+	one := storage.NewItemFileFrom(d, randItems(1, 5))
+	out = Sort(d, one, AxisKey(0), Config{MemoryItems: 1000})
+	if out.Len() != 1 {
+		t.Errorf("single sort len = %d", out.Len())
+	}
+}
+
+func TestSortDuplicateCoordinatesStableByID(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	items := make([]geom.Item, 100)
+	for i := range items {
+		items[i] = geom.Item{Rect: geom.NewRect(1, 2, 3, 4), ID: uint32(99 - i)}
+	}
+	in := storage.NewItemFileFrom(d, items)
+	out := Sort(d, in, AxisKey(0), Config{MemoryItems: 400})
+	got := out.ReadAll()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Fatalf("duplicate coords must be ordered by id: %d then %d", got[i-1].ID, got[i].ID)
+		}
+	}
+}
+
+func TestReverseAxisKey(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	items := randItems(300, 6)
+	in := storage.NewItemFileFrom(d, items)
+	out := Sort(d, in, ReverseAxisKey(3), Config{MemoryItems: 400})
+	got := out.ReadAll()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Rect.MaxY < got[i].Rect.MaxY {
+			t.Fatalf("descending sort broken at %d", i)
+		}
+	}
+}
+
+func TestUintKey(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	items := randItems(300, 7)
+	in := storage.NewItemFileFrom(d, items)
+	out := Sort(d, in, UintKey(func(it geom.Item) uint64 { return uint64(it.ID % 7) }),
+		Config{MemoryItems: 400})
+	got := out.ReadAll()
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1].ID%7, got[i].ID%7
+		if a > b {
+			t.Fatalf("uint key sort broken at %d", i)
+		}
+	}
+}
+
+func TestSortIOComplexity(t *testing.T) {
+	// With memory m and input n blocks, the sort should cost
+	// O(n log_{m/B}(n/m)) block I/Os; check against a generous constant.
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	per := storage.ItemsPerBlock(storage.DefaultBlockSize)
+	nBlocks := 64
+	memBlocks := 4 // fan-in 3
+	items := randItems(nBlocks*per, 8)
+	in := storage.NewItemFileFrom(d, items)
+	d.ResetStats()
+	out := Sort(d, in, AxisKey(0), Config{MemoryItems: memBlocks * per})
+	st := d.Stats()
+	// passes = 1 (runs) + ceil(log_3(16 runs)) = 1+3 = 4; each pass reads+writes n blocks.
+	maxIO := uint64(2 * nBlocks * 6)
+	if st.Total() > maxIO {
+		t.Errorf("sort cost %d I/Os, want <= %d", st.Total(), maxIO)
+	}
+	checkSortedByAxis(t, out.ReadAll(), 0)
+}
+
+func TestSortFreesIntermediateRuns(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	per := storage.ItemsPerBlock(storage.DefaultBlockSize)
+	items := randItems(per*20, 9)
+	in := storage.NewItemFileFrom(d, items)
+	before := d.PagesInUse()
+	out := Sort(d, in, AxisKey(0), Config{MemoryItems: 3 * per})
+	// Only the output file (20 blocks) should remain beyond the input.
+	if got := d.PagesInUse() - before; got != out.Blocks() {
+		t.Errorf("leaked pages: %d in use beyond input, output has %d", got, out.Blocks())
+	}
+}
+
+func TestSortTinyMemoryPanics(t *testing.T) {
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	in := storage.NewItemFileFrom(d, randItems(10, 10))
+	defer func() {
+		if recover() == nil {
+			t.Error("sub-3-block memory should panic")
+		}
+	}()
+	Sort(d, in, AxisKey(0), Config{MemoryItems: 5})
+}
+
+func TestSortItemsMatchesStdSort(t *testing.T) {
+	items := randItems(1000, 11)
+	ref := make([]geom.Item, len(items))
+	copy(ref, items)
+	sort.Slice(ref, func(i, j int) bool {
+		if ref[i].Rect.MinY != ref[j].Rect.MinY {
+			return ref[i].Rect.MinY < ref[j].Rect.MinY
+		}
+		return ref[i].ID < ref[j].ID
+	})
+	SortItems(items, AxisKey(1))
+	for i := range items {
+		if items[i] != ref[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

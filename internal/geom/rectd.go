@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// RectD is an axis-parallel hyper-rectangle in d dimensions, closed on all
+// sides. Min and Max must have equal length d >= 1 with Min[i] <= Max[i].
+// RectD backs the d-dimensional PR-tree of Section 2.3 of the paper.
+type RectD struct {
+	Min, Max []float64
+}
+
+// NewRectD builds a d-dimensional rectangle from two corner slices,
+// normalizing per-axis coordinate order. The slices are copied.
+func NewRectD(lo, hi []float64) RectD {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("geom: NewRectD dimension mismatch %d != %d", len(lo), len(hi)))
+	}
+	r := RectD{Min: make([]float64, len(lo)), Max: make([]float64, len(hi))}
+	for i := range lo {
+		a, b := lo[i], hi[i]
+		if a > b {
+			a, b = b, a
+		}
+		r.Min[i], r.Max[i] = a, b
+	}
+	return r
+}
+
+// PointRectD returns the degenerate hyper-rectangle at the given point.
+func PointRectD(p []float64) RectD {
+	return NewRectD(p, p)
+}
+
+// Dim returns the dimensionality of r.
+func (r RectD) Dim() int { return len(r.Min) }
+
+// Valid reports whether r is well-formed.
+func (r RectD) Valid() bool {
+	if len(r.Min) == 0 || len(r.Min) != len(r.Max) {
+		return false
+	}
+	for i := range r.Min {
+		if r.Min[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of r.
+func (r RectD) Clone() RectD {
+	out := RectD{Min: make([]float64, len(r.Min)), Max: make([]float64, len(r.Max))}
+	copy(out.Min, r.Min)
+	copy(out.Max, r.Max)
+	return out
+}
+
+// Intersects reports whether r and s overlap in every dimension.
+func (r RectD) Intersects(s RectD) bool {
+	for i := range r.Min {
+		if r.Min[i] > s.Max[i] || s.Min[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether s lies entirely within r.
+func (r RectD) Contains(s RectD) bool {
+	for i := range r.Min {
+		if r.Min[i] > s.Min[i] || s.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the minimal bounding hyper-rectangle of r and s.
+func (r RectD) Union(s RectD) RectD {
+	out := RectD{Min: make([]float64, len(r.Min)), Max: make([]float64, len(r.Max))}
+	for i := range r.Min {
+		out.Min[i] = math.Min(r.Min[i], s.Min[i])
+		out.Max[i] = math.Max(r.Max[i], s.Max[i])
+	}
+	return out
+}
+
+// UnionInPlace grows r to cover s without allocating.
+func (r *RectD) UnionInPlace(s RectD) {
+	for i := range r.Min {
+		if s.Min[i] < r.Min[i] {
+			r.Min[i] = s.Min[i]
+		}
+		if s.Max[i] > r.Max[i] {
+			r.Max[i] = s.Max[i]
+		}
+	}
+}
+
+// Volume returns the d-dimensional volume of r.
+func (r RectD) Volume() float64 {
+	v := 1.0
+	for i := range r.Min {
+		v *= r.Max[i] - r.Min[i]
+	}
+	return v
+}
+
+// Coord returns the axis-th coordinate of the 2d-dimensional corner
+// transform of r: axes 0..d-1 address Min[axis] and axes d..2d-1 address
+// Max[axis-d]. The round-robin kd split of the d-dimensional pseudo-PR-tree
+// cycles through these 2d axes.
+func (r RectD) Coord(axis int) float64 {
+	d := len(r.Min)
+	axis %= 2 * d
+	if axis < d {
+		return r.Min[axis]
+	}
+	return r.Max[axis-d]
+}
+
+// String implements fmt.Stringer.
+func (r RectD) String() string {
+	return fmt.Sprintf("[%v-%v]", r.Min, r.Max)
+}
+
+// MBRD returns the minimal bounding hyper-rectangle of a non-empty slice.
+func MBRD(rects []RectD) RectD {
+	if len(rects) == 0 {
+		panic("geom: MBRD of empty slice")
+	}
+	out := rects[0].Clone()
+	for _, r := range rects[1:] {
+		out.UnionInPlace(r)
+	}
+	return out
+}
+
+// EmptyRectD returns the d-dimensional Union identity (not Valid).
+func EmptyRectD(d int) RectD {
+	r := RectD{Min: make([]float64, d), Max: make([]float64, d)}
+	for i := 0; i < d; i++ {
+		r.Min[i] = math.Inf(1)
+		r.Max[i] = math.Inf(-1)
+	}
+	return r
+}

@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectDNormalizes(t *testing.T) {
+	r := NewRectD([]float64{3, 1, 5}, []float64{1, 2, 4})
+	if !r.Valid() {
+		t.Fatal("normalized RectD should be valid")
+	}
+	if r.Min[0] != 1 || r.Max[0] != 3 || r.Min[2] != 4 || r.Max[2] != 5 {
+		t.Errorf("unexpected rect %v", r)
+	}
+	if r.Dim() != 3 {
+		t.Errorf("dim = %d", r.Dim())
+	}
+}
+
+func TestNewRectDMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	NewRectD([]float64{1}, []float64{1, 2})
+}
+
+func TestRectDIntersectsContains(t *testing.T) {
+	a := NewRectD([]float64{0, 0, 0}, []float64{2, 2, 2})
+	b := NewRectD([]float64{1, 1, 1}, []float64{3, 3, 3})
+	c := NewRectD([]float64{3, 3, 2.5}, []float64{4, 4, 4})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if !a.Contains(NewRectD([]float64{0.5, 0.5, 0.5}, []float64{1, 1, 1})) {
+		t.Error("containment failed")
+	}
+	if a.Contains(b) {
+		t.Error("a should not contain b")
+	}
+}
+
+func TestRectDTouchingFacesIntersect(t *testing.T) {
+	a := NewRectD([]float64{0, 0}, []float64{1, 1})
+	b := NewRectD([]float64{1, 0}, []float64{2, 1})
+	if !a.Intersects(b) {
+		t.Error("touching faces should intersect")
+	}
+}
+
+func TestRectDUnionVolume(t *testing.T) {
+	a := NewRectD([]float64{0, 0}, []float64{1, 2})
+	b := NewRectD([]float64{2, 1}, []float64{3, 3})
+	u := a.Union(b)
+	if u.Volume() != 9 {
+		t.Errorf("union volume = %g, want 9", u.Volume())
+	}
+	if a.Volume() != 2 {
+		t.Errorf("a volume = %g", a.Volume())
+	}
+}
+
+func TestRectDUnionInPlaceMatchesUnion(t *testing.T) {
+	a := NewRectD([]float64{0, 5}, []float64{1, 6})
+	b := NewRectD([]float64{-1, 7}, []float64{0.5, 9})
+	want := a.Union(b)
+	got := a.Clone()
+	got.UnionInPlace(b)
+	for i := range want.Min {
+		if got.Min[i] != want.Min[i] || got.Max[i] != want.Max[i] {
+			t.Fatalf("in-place union mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestRectDCoordCornerTransform(t *testing.T) {
+	r := NewRectD([]float64{1, 2, 3}, []float64{4, 5, 6})
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for axis := 0; axis < 6; axis++ {
+		if got := r.Coord(axis); got != want[axis] {
+			t.Errorf("Coord(%d) = %g, want %g", axis, got, want[axis])
+		}
+		if got := r.Coord(axis + 6); got != want[axis] {
+			t.Errorf("Coord(%d) wrap = %g, want %g", axis+6, got, want[axis])
+		}
+	}
+}
+
+func TestMBRD(t *testing.T) {
+	rs := []RectD{
+		NewRectD([]float64{0, 0}, []float64{1, 1}),
+		NewRectD([]float64{-1, 2}, []float64{0, 3}),
+	}
+	m := MBRD(rs)
+	if m.Min[0] != -1 || m.Min[1] != 0 || m.Max[0] != 1 || m.Max[1] != 3 {
+		t.Errorf("MBRD = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MBRD of empty slice should panic")
+		}
+	}()
+	MBRD(nil)
+}
+
+func TestEmptyRectDAbsorbs(t *testing.T) {
+	e := EmptyRectD(2)
+	if e.Valid() {
+		t.Error("empty RectD must be invalid")
+	}
+	r := NewRectD([]float64{1, 1}, []float64{2, 2})
+	u := e.Union(r)
+	if !u.Contains(r) || !r.Contains(u) {
+		t.Errorf("EmptyRectD union = %v", u)
+	}
+}
+
+func clampD(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out[i] = math.Mod(v, 1e6)
+	}
+	return out
+}
+
+func TestQuickRectDUnionContainsBoth(t *testing.T) {
+	prop := func(a1, a2, a3, b1, b2, b3, c1, c2, c3, d1, d2, d3 float64) bool {
+		r1 := NewRectD(clampD([]float64{a1, a2, a3}), clampD([]float64{b1, b2, b3}))
+		r2 := NewRectD(clampD([]float64{c1, c2, c3}), clampD([]float64{d1, d2, d3}))
+		u := r1.Union(r2)
+		return u.Contains(r1) && u.Contains(r2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRectDIntersectsSymmetric(t *testing.T) {
+	prop := func(a1, a2, b1, b2, c1, c2, d1, d2 float64) bool {
+		r1 := NewRectD(clampD([]float64{a1, a2}), clampD([]float64{b1, b2}))
+		r2 := NewRectD(clampD([]float64{c1, c2}), clampD([]float64{d1, d2}))
+		return r1.Intersects(r2) == r2.Intersects(r1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRect2DRectDAgree(t *testing.T) {
+	// The 2D fast path and the d-dimensional implementation must agree on
+	// intersection for d=2.
+	prop := func(a, b, c, d, e, f, g, h float64) bool {
+		r1 := clampRect(a, b, c, d)
+		r2 := clampRect(e, f, g, h)
+		d1 := NewRectD([]float64{r1.MinX, r1.MinY}, []float64{r1.MaxX, r1.MaxY})
+		d2 := NewRectD([]float64{r2.MinX, r2.MinY}, []float64{r2.MaxX, r2.MaxY})
+		return r1.Intersects(r2) == d1.Intersects(d2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package logmethod implements the dynamized PR-tree the paper sketches in
+// Sections 1.2 and 4: the external logarithmic method (Bentley–Saxe
+// dynamization as used by Arge & Vahrenhold and the Bkd-tree) layered over
+// static PR-trees.
+//
+// The structure keeps an in-memory buffer of up to base rectangles plus a
+// logarithmic number of static PR-trees, where level i is either empty or
+// holds exactly base*2^i rectangles. Inserting into a full buffer merges
+// the buffer with the occupied prefix of levels into the first empty level
+// — a binary-counter carry — so every rectangle is rebuilt O(log(N/base))
+// times, giving the amortized insertion bound of the paper while every
+// level keeps the worst-case-optimal PR-tree query bound. Deletions use
+// tombstones with a global rebuild once half the stored items are dead,
+// the standard amortization.
+package logmethod
+
+import (
+	"fmt"
+
+	"prtree/internal/bulk"
+	"prtree/internal/geom"
+	"prtree/internal/rtree"
+	"prtree/internal/storage"
+)
+
+// Tree is a dynamic spatial index over the logarithmic method.
+// Item IDs must be unique across live items; Delete identifies items by
+// (rect, id).
+type Tree struct {
+	pager  *storage.Pager
+	opt    bulk.Options
+	base   int
+	buffer []geom.Item
+	levels []*rtree.Tree // levels[i] is nil or holds ~base*2^i items
+	dead   map[uint32]geom.Rect
+	live   int // live items (excludes tombstoned ones)
+	stored int // items physically present in buffer+levels
+}
+
+// New creates an empty dynamic tree. base is the buffer capacity (0 means
+// one leaf's worth, i.e. the fanout).
+func New(pager *storage.Pager, opt bulk.Options, base int) *Tree {
+	if base <= 0 {
+		base = rtree.MaxFanout(pager.Disk().BlockSize())
+	}
+	return &Tree{
+		pager: pager,
+		opt:   opt,
+		base:  base,
+		dead:  make(map[uint32]geom.Rect),
+	}
+}
+
+// Len returns the number of live rectangles.
+func (t *Tree) Len() int { return t.live }
+
+// Levels returns the number of occupied static levels (for inspection).
+func (t *Tree) Levels() int {
+	n := 0
+	for _, l := range t.levels {
+		if l != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert adds a rectangle. Amortized cost is O((log_{M/B} N)(log2 N)/B)
+// block I/Os; the worst case (a full carry) rebuilds O(N) items.
+func (t *Tree) Insert(it geom.Item) {
+	if r, ok := t.dead[it.ID]; ok {
+		// Reinserting a tombstoned id revives it only if the rect matches;
+		// otherwise the id would be ambiguous.
+		if r != it.Rect {
+			panic(fmt.Sprintf("logmethod: id %d reused with different rect", it.ID))
+		}
+		delete(t.dead, it.ID)
+		t.live++
+		return
+	}
+	t.buffer = append(t.buffer, it)
+	t.live++
+	t.stored++
+	if len(t.buffer) >= t.base {
+		t.carry()
+	}
+}
+
+// carry merges the buffer and the occupied prefix of levels into the first
+// empty level.
+func (t *Tree) carry() {
+	k := 0
+	for k < len(t.levels) && t.levels[k] != nil {
+		k++
+	}
+	items := make([]geom.Item, 0, t.base<<uint(k))
+	items = append(items, t.buffer...)
+	t.buffer = t.buffer[:0]
+	for i := 0; i < k; i++ {
+		items = append(items, t.levels[i].Items()...)
+		t.levels[i].Release()
+		t.levels[i] = nil
+	}
+	for k >= len(t.levels) {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[k] = bulk.FromItems(bulk.LoaderPR, t.pager, items, t.opt)
+}
+
+// Delete removes the rectangle with the given rect and id, returning false
+// if it is not stored (or already deleted). Deletions are tombstoned; once
+// half the stored items are dead the structure rebuilds itself.
+func (t *Tree) Delete(it geom.Item) bool {
+	if _, gone := t.dead[it.ID]; gone {
+		return false
+	}
+	// Fast path: still in the buffer.
+	for i, b := range t.buffer {
+		if b.ID == it.ID && b.Rect == it.Rect {
+			t.buffer = append(t.buffer[:i], t.buffer[i+1:]...)
+			t.live--
+			t.stored--
+			return true
+		}
+	}
+	if !t.contains(it) {
+		return false
+	}
+	t.dead[it.ID] = it.Rect
+	t.live--
+	if 2*len(t.dead) >= t.stored && t.stored > 0 {
+		t.rebuild()
+	}
+	return true
+}
+
+// contains checks whether a (rect, id) pair is physically stored in one of
+// the static levels.
+func (t *Tree) contains(it geom.Item) bool {
+	for _, l := range t.levels {
+		if l == nil {
+			continue
+		}
+		found := false
+		l.Query(it.Rect, func(got geom.Item) bool {
+			if got.ID == it.ID && got.Rect == it.Rect {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuild compacts everything live into a single fresh structure.
+func (t *Tree) rebuild() {
+	items := make([]geom.Item, 0, t.live)
+	items = append(items, t.buffer...)
+	t.buffer = t.buffer[:0]
+	for i, l := range t.levels {
+		if l == nil {
+			continue
+		}
+		for _, it := range l.Items() {
+			if _, gone := t.dead[it.ID]; !gone {
+				items = append(items, it)
+			}
+		}
+		l.Release()
+		t.levels[i] = nil
+	}
+	t.dead = make(map[uint32]geom.Rect)
+	t.stored = len(items)
+	t.live = len(items)
+	if len(items) == 0 {
+		return
+	}
+	// Small remainders go back to the buffer; otherwise the compacted tree
+	// lands at the level matching its size (sizes are approximate after a
+	// rebuild, which only affects constants in the amortized analysis).
+	if len(items) < t.base {
+		t.buffer = append(t.buffer, items...)
+		return
+	}
+	k := 0
+	for t.base<<uint(k+1) <= len(items) {
+		k++
+	}
+	for k >= len(t.levels) {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[k] = bulk.FromItems(bulk.LoaderPR, t.pager, items, t.opt)
+}
+
+// QueryStats aggregates the per-level query statistics.
+type QueryStats struct {
+	LeavesVisited int
+	NodesVisited  int
+	Results       int
+}
+
+// Query reports every live rectangle intersecting q. Each static level is
+// queried with its optimal PR-tree bound, so the total cost is
+// O(log(N/base) * sqrt(N/B) + T/B) I/Os.
+func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
+	var st QueryStats
+	for _, it := range t.buffer {
+		if q.Intersects(it.Rect) {
+			st.Results++
+			if fn != nil && !fn(it) {
+				return st
+			}
+		}
+	}
+	for _, l := range t.levels {
+		if l == nil {
+			continue
+		}
+		aborted := false
+		ls := l.Query(q, func(it geom.Item) bool {
+			if _, gone := t.dead[it.ID]; gone {
+				return true
+			}
+			st.Results++
+			if fn != nil && !fn(it) {
+				aborted = true
+				return false
+			}
+			return true
+		})
+		st.LeavesVisited += ls.LeavesVisited
+		st.NodesVisited += ls.NodesVisited
+		if aborted {
+			return st
+		}
+	}
+	return st
+}
+
+// QueryCollect returns all live rectangles intersecting q.
+func (t *Tree) QueryCollect(q geom.Rect) []geom.Item {
+	var out []geom.Item
+	t.Query(q, func(it geom.Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Flush compacts the structure into a single static PR-tree (plus an empty
+// buffer), e.g. before a read-heavy phase.
+func (t *Tree) Flush() {
+	t.rebuild()
+}
+
+// Items returns every live rectangle.
+func (t *Tree) Items() []geom.Item {
+	out := make([]geom.Item, 0, t.live)
+	out = append(out, t.buffer...)
+	for _, l := range t.levels {
+		if l == nil {
+			continue
+		}
+		for _, it := range l.Items() {
+			if _, gone := t.dead[it.ID]; !gone {
+				out = append(out, it)
+			}
+		}
+	}
+	return out
+}

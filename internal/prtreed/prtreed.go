@@ -1,0 +1,218 @@
+// Package prtreed implements the d-dimensional PR-tree of Section 2.3 of
+// the paper: a d-dimensional pseudo-PR-tree is a 2d-dimensional kd-tree
+// over the corner transform (min_1..min_d, max_1..max_d) with 2d priority
+// leaves per node, and the real PR-tree is assembled bottom-up from
+// pseudo-tree leaves exactly as in two dimensions. A window query costs
+// O((N/B)^(1-1/d) + T/B) block-equivalents.
+//
+// The paper's experiments are two-dimensional; this package provides the
+// generalization as an in-memory index whose query statistics count nodes
+// and leaves (block-equivalents), matching the analysis rather than a
+// paged layout.
+package prtreed
+
+import (
+	"fmt"
+
+	"prtree/internal/geom"
+)
+
+// Config parameterizes Build.
+type Config struct {
+	// Dim is the data dimensionality d >= 1.
+	Dim int
+	// B is the leaf/node capacity (entries per block-equivalent).
+	B int
+}
+
+func (c Config) check() {
+	if c.Dim < 1 {
+		panic(fmt.Sprintf("prtreed: dimension %d", c.Dim))
+	}
+	if c.B < 2 {
+		panic(fmt.Sprintf("prtreed: capacity %d", c.B))
+	}
+}
+
+// Tree is a d-dimensional PR-tree.
+type Tree struct {
+	cfg    Config
+	root   *node
+	height int
+	n      int
+	nodes  int
+}
+
+type node struct {
+	bounds   geom.RectD
+	items    []geom.ItemD // leaf entries (nil for internal nodes)
+	children []*node
+}
+
+func (n *node) isLeaf() bool { return n.items != nil }
+
+// Build bulk-loads a d-dimensional PR-tree. The input slice is reordered.
+func Build(items []geom.ItemD, cfg Config) *Tree {
+	cfg.check()
+	for _, it := range items {
+		if it.Rect.Dim() != cfg.Dim {
+			panic(fmt.Sprintf("prtreed: item dim %d != %d", it.Rect.Dim(), cfg.Dim))
+		}
+	}
+	t := &Tree{cfg: cfg, n: len(items)}
+	if len(items) == 0 {
+		t.root = &node{items: []geom.ItemD{}, bounds: geom.EmptyRectD(cfg.Dim)}
+		t.height = 1
+		t.nodes = 1
+		return t
+	}
+	// Stage 0: pseudo-PR-tree leaves over the items become the R-tree
+	// leaves; stage i >= 1 packs the previous level's nodes.
+	level := make([]*node, 0)
+	for _, group := range pseudoLeaves(items, cfg) {
+		ln := &node{items: group, bounds: geom.ItemsMBRD(group)}
+		level = append(level, ln)
+		t.nodes++
+	}
+	t.height = 1
+	for len(level) > 1 {
+		// Treat each node's bounds as a d-dimensional item and rebuild.
+		entries := make([]geom.ItemD, len(level))
+		for i, nd := range level {
+			entries[i] = geom.ItemD{Rect: nd.bounds, ID: uint32(i)}
+		}
+		if len(level) <= cfg.B {
+			root := &node{children: level}
+			root.bounds = boundsOf(level)
+			level = []*node{root}
+			t.nodes++
+			t.height++
+			break
+		}
+		var next []*node
+		for _, group := range pseudoLeaves(entries, cfg) {
+			children := make([]*node, len(group))
+			for i, e := range group {
+				children[i] = level[e.ID]
+			}
+			in := &node{children: children, bounds: boundsOf(children)}
+			next = append(next, in)
+			t.nodes++
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+func boundsOf(nodes []*node) geom.RectD {
+	out := nodes[0].bounds.Clone()
+	for _, n := range nodes[1:] {
+		out.UnionInPlace(n.bounds)
+	}
+	return out
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Nodes returns the number of block-equivalents the tree occupies.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// QueryStats counts block-equivalents touched by a query.
+type QueryStats struct {
+	NodesVisited  int
+	LeavesVisited int
+	Results       int
+}
+
+// Query reports every item intersecting q. fn returning false stops early.
+func (t *Tree) Query(q geom.RectD, fn func(geom.ItemD) bool) QueryStats {
+	var st QueryStats
+	t.query(t.root, q, fn, &st)
+	return st
+}
+
+func (t *Tree) query(n *node, q geom.RectD, fn func(geom.ItemD) bool, st *QueryStats) bool {
+	st.NodesVisited++
+	if n.isLeaf() {
+		st.LeavesVisited++
+		for _, it := range n.items {
+			if q.Intersects(it.Rect) {
+				st.Results++
+				if fn != nil && !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if q.Intersects(c.bounds) {
+			if !t.query(c, q, fn, st) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: uniform leaf depth, exact bounds,
+// capacities, and item count.
+func (t *Tree) Validate() error {
+	depths := map[int]bool{}
+	n, err := t.validate(t.root, 0, depths)
+	if err != nil {
+		return err
+	}
+	if n != t.n {
+		return fmt.Errorf("prtreed: %d items found, tree reports %d", n, t.n)
+	}
+	if len(depths) != 1 {
+		return fmt.Errorf("prtreed: leaves at %d distinct depths", len(depths))
+	}
+	return nil
+}
+
+func (t *Tree) validate(n *node, depth int, depths map[int]bool) (int, error) {
+	if n.isLeaf() {
+		depths[depth] = true
+		if len(n.items) > t.cfg.B {
+			return 0, fmt.Errorf("prtreed: leaf with %d items", len(n.items))
+		}
+		if len(n.items) > 0 {
+			if got := geom.ItemsMBRD(n.items); !equalRect(got, n.bounds) {
+				return 0, fmt.Errorf("prtreed: leaf bounds %v != MBR %v", n.bounds, got)
+			}
+		}
+		return len(n.items), nil
+	}
+	if len(n.children) == 0 || len(n.children) > t.cfg.B {
+		return 0, fmt.Errorf("prtreed: internal node with %d children", len(n.children))
+	}
+	if got := boundsOf(n.children); !equalRect(got, n.bounds) {
+		return 0, fmt.Errorf("prtreed: node bounds %v != children MBR %v", n.bounds, got)
+	}
+	total := 0
+	for _, c := range n.children {
+		cn, err := t.validate(c, depth+1, depths)
+		if err != nil {
+			return 0, err
+		}
+		total += cn
+	}
+	return total, nil
+}
+
+func equalRect(a, b geom.RectD) bool {
+	for i := range a.Min {
+		if a.Min[i] != b.Min[i] || a.Max[i] != b.Max[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package prtreed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prtree/internal/geom"
+)
+
+func randItemsD(n, d int, seed int64) []geom.ItemD {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]geom.ItemD, n)
+	for i := range items {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for k := 0; k < d; k++ {
+			lo[k] = rng.Float64()
+			hi[k] = lo[k] + rng.Float64()*0.05
+		}
+		items[i] = geom.ItemD{Rect: geom.NewRectD(lo, hi), ID: uint32(i)}
+	}
+	return items
+}
+
+func randQueryD(d int, rng *rand.Rand) geom.RectD {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for k := 0; k < d; k++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		lo[k], hi[k] = a, b
+	}
+	return geom.NewRectD(lo, hi)
+}
+
+func TestBuildDimensions(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4} {
+		items := randItemsD(3000, d, int64(d))
+		tr := Build(items, Config{Dim: d, B: 16})
+		if tr.Len() != 3000 {
+			t.Fatalf("d=%d: len=%d", d, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestQueryMatchesBruteForce3D(t *testing.T) {
+	d := 3
+	items := randItemsD(4000, d, 1)
+	tr := Build(items, Config{Dim: d, B: 16})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		q := randQueryD(d, rng)
+		want := 0
+		for _, it := range items {
+			if q.Intersects(it.Rect) {
+				want++
+			}
+		}
+		got := map[uint32]bool{}
+		st := tr.Query(q, func(it geom.ItemD) bool {
+			got[it.ID] = true
+			return true
+		})
+		if len(got) != want || st.Results != want {
+			t.Fatalf("query %d: got %d (st %d), want %d", i, len(got), st.Results, want)
+		}
+	}
+}
+
+func TestQueryMatchesBruteForce4D(t *testing.T) {
+	d := 4
+	items := randItemsD(2000, d, 3)
+	tr := Build(items, Config{Dim: d, B: 8})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		q := randQueryD(d, rng)
+		want := 0
+		for _, it := range items {
+			if q.Intersects(it.Rect) {
+				want++
+			}
+		}
+		st := tr.Query(q, nil)
+		if st.Results != want {
+			t.Fatalf("query %d: got %d, want %d", i, st.Results, want)
+		}
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	tr := Build(nil, Config{Dim: 3, B: 8})
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty: %d/%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	one := randItemsD(1, 3, 5)
+	tr = Build(one, Config{Dim: 3, B: 8})
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Errorf("single: %d/%d", tr.Len(), tr.Height())
+	}
+	st := tr.Query(one[0].Rect, nil)
+	if st.Results != 1 {
+		t.Errorf("single query results = %d", st.Results)
+	}
+}
+
+func TestUniformDepth(t *testing.T) {
+	items := randItemsD(5000, 3, 6)
+	tr := Build(items, Config{Dim: 3, B: 8})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, expected a real tree", tr.Height())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Build(nil, Config{Dim: 0, B: 8}) },
+		func() { Build(nil, Config{Dim: 2, B: 1}) },
+		func() { Build(randItemsD(5, 3, 1), Config{Dim: 2, B: 8}) }, // dim mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	items := randItemsD(1000, 2, 7)
+	tr := Build(items, Config{Dim: 2, B: 16})
+	count := 0
+	world := geom.NewRectD([]float64{0, 0}, []float64{2, 2})
+	tr.Query(world, func(geom.ItemD) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop at %d", count)
+	}
+}
+
+// TestQueryBound3D checks the d-dimensional analogue of Lemma 2: on a 3D
+// point grid, zero-output slab queries visit O((N/B)^(2/3)) blocks.
+func TestQueryBound3D(t *testing.T) {
+	b := 8
+	for _, side := range []int{8, 16, 24} {
+		n := side * side * side
+		items := make([]geom.ItemD, 0, n)
+		for x := 0; x < side; x++ {
+			for y := 0; y < side; y++ {
+				for z := 0; z < side; z++ {
+					p := []float64{float64(x) + 0.5, float64(y) + 0.5, float64(z) + 0.5}
+					items = append(items, geom.ItemD{Rect: geom.PointRectD(p), ID: uint32(len(items))})
+				}
+			}
+		}
+		tr := Build(items, Config{Dim: 3, B: b})
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		worst := 0
+		for cut := 0; cut < side; cut++ {
+			// A degenerate plane between grid layers: zero output.
+			q := geom.NewRectD(
+				[]float64{0, 0, float64(cut)},
+				[]float64{float64(side), float64(side), float64(cut)},
+			)
+			st := tr.Query(q, nil)
+			if st.Results != 0 {
+				t.Fatalf("plane query hit %d points", st.Results)
+			}
+			if st.NodesVisited > worst {
+				worst = st.NodesVisited
+			}
+		}
+		bound := 24 * math.Pow(float64(n)/float64(b), 2.0/3.0)
+		if float64(worst) > bound {
+			t.Errorf("side=%d: worst plane query %d blocks, bound %.0f", side, worst, bound)
+		}
+	}
+}
+
+func TestLeafGroupsPartition(t *testing.T) {
+	items := randItemsD(3000, 3, 8)
+	groups := pseudoLeaves(items, Config{Dim: 3, B: 16})
+	seen := map[uint32]bool{}
+	for _, g := range groups {
+		if len(g) == 0 || len(g) > 16 {
+			t.Fatalf("group size %d", len(g))
+		}
+		for _, it := range g {
+			if seen[it.ID] {
+				t.Fatalf("item %d in two groups", it.ID)
+			}
+			seen[it.ID] = true
+		}
+	}
+	if len(seen) != 3000 {
+		t.Fatalf("groups cover %d items", len(seen))
+	}
+}
+
+func TestPriorityExtremesPerDirection(t *testing.T) {
+	d := 3
+	items := randItemsD(5000, d, 9)
+	groups := pseudoLeaves(items, Config{Dim: d, B: 32})
+	// First 2d groups are the root's priority leaves in direction order.
+	// Group 0 holds the 32 globally smallest Min[0] values.
+	g0 := groups[0]
+	worst := g0[0].Rect.Min[0]
+	for _, it := range g0 {
+		if it.Rect.Min[0] > worst {
+			worst = it.Rect.Min[0]
+		}
+	}
+	inLeaf := map[uint32]bool{}
+	for _, it := range g0 {
+		inLeaf[it.ID] = true
+	}
+	for _, it := range items {
+		if !inLeaf[it.ID] && it.Rect.Min[0] < worst {
+			t.Fatalf("item %d more extreme than root min-x leaf", it.ID)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package prtreed
+
+import "prtree/internal/geom"
+
+// pseudoLeaves partitions items into the leaf groups of a d-dimensional
+// pseudo-PR-tree with 2d priority leaves per node and a round-robin
+// 2d-dimensional kd split, rounding divisions to multiples of B for near
+// full leaves (Section 2.3 generalizing Section 2.1).
+func pseudoLeaves(items []geom.ItemD, cfg Config) [][]geom.ItemD {
+	var out [][]geom.ItemD
+	if len(items) > 0 {
+		recurse(items, cfg, 0, &out)
+	}
+	return out
+}
+
+func recurse(items []geom.ItemD, cfg Config, axis int, out *[][]geom.ItemD) {
+	b := cfg.B
+	dirs := 2 * cfg.Dim
+	if len(items) <= b {
+		*out = append(*out, items)
+		return
+	}
+	if len(items) <= dirs*b {
+		// Not enough to fill every priority leaf and recurse: split evenly
+		// into <= 2d groups, each still extreme in its direction.
+		rest := items
+		groups := (len(items) + b - 1) / b
+		for dir := 0; dir < groups; dir++ {
+			take := len(rest) / (groups - dir)
+			if dir == groups-1 {
+				take = len(rest)
+			}
+			selectKD(rest, take, extremeLessD(dir, cfg.Dim))
+			*out = append(*out, rest[:take:take])
+			rest = rest[take:]
+		}
+		return
+	}
+	rest := items
+	for dir := 0; dir < dirs; dir++ {
+		selectKD(rest, b, extremeLessD(dir, cfg.Dim))
+		*out = append(*out, rest[:b:b])
+		rest = rest[b:]
+	}
+	half := len(rest) / 2
+	half = (half / b) * b
+	if half == 0 || half == len(rest) {
+		recurse(rest, cfg, axis+1, out)
+		return
+	}
+	selectKD(rest, half, axisLessD(axis%dirs))
+	recurse(rest[:half:half], cfg, axis+1, out)
+	recurse(rest[half:], cfg, axis+1, out)
+}
+
+// extremeLessD orders "more extreme first" for direction dir: directions
+// 0..d-1 prefer small Min coordinates, d..2d-1 prefer large Max ones.
+func extremeLessD(dir, d int) func(a, b geom.ItemD) bool {
+	if dir < d {
+		return func(a, b geom.ItemD) bool {
+			av, bv := a.Rect.Min[dir], b.Rect.Min[dir]
+			if av != bv {
+				return av < bv
+			}
+			return a.ID < b.ID
+		}
+	}
+	k := dir - d
+	return func(a, b geom.ItemD) bool {
+		av, bv := a.Rect.Max[k], b.Rect.Max[k]
+		if av != bv {
+			return av > bv
+		}
+		return a.ID < b.ID
+	}
+}
+
+// axisLessD orders ascending by corner-transform coordinate.
+func axisLessD(axis int) func(a, b geom.ItemD) bool {
+	return func(a, b geom.ItemD) bool {
+		av, bv := a.Rect.Coord(axis), b.Rect.Coord(axis)
+		if av != bv {
+			return av < bv
+		}
+		return a.ID < b.ID
+	}
+}
+
+// selectKD is the ItemD flavor of the randomized three-way quickselect.
+func selectKD(items []geom.ItemD, k int, less func(a, b geom.ItemD) bool) {
+	if k <= 0 || k >= len(items) {
+		return
+	}
+	lo, hi := 0, len(items)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for hi-lo > 1 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		pivot := items[lo+int(rng%uint64(hi-lo))]
+		lt, i, gt := lo, lo, hi
+		for i < gt {
+			switch {
+			case less(items[i], pivot):
+				items[lt], items[i] = items[i], items[lt]
+				lt++
+				i++
+			case less(pivot, items[i]):
+				gt--
+				items[gt], items[i] = items[i], items[gt]
+			default:
+				i++
+			}
+		}
+		switch {
+		case k <= lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,608 @@
+package pseudo
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"prtree/internal/extsort"
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// ExternalConfig parameterizes the grid-based external construction.
+type ExternalConfig struct {
+	B int // leaf capacity (records per block)
+	M int // records that fit in main memory
+}
+
+// BuildExternal partitions the rectangles of in into pseudo-PR-tree leaf
+// groups using the external grid algorithm of Section 2.1: four sorted
+// lists, a z^4 in-memory grid with z = Theta(M^(1/4)) to build Theta(log M)
+// kd levels per round, priority-leaf filling by filtering, and distribution
+// of the sorted lists to the recursive subproblems. Every pass streams
+// through storage.ItemFile so the O((N/B) log_{M/B}(N/B)) I/O cost is
+// measured on the disk.
+//
+// The kd divisions follow the paper's external variant: priority
+// rectangles are not removed before the division is computed (the query
+// bound of Lemma 2 is unaffected; each child still receives at most half
+// of its parent's points). The input file is consumed and freed.
+func BuildExternal(disk *storage.Disk, in *storage.ItemFile, cfg ExternalConfig, emit func(LeafGroup)) {
+	if cfg.B < 1 {
+		panic("pseudo: external build with B < 1")
+	}
+	perBlock := storage.ItemsPerBlock(disk.BlockSize())
+	if cfg.M < 4*perBlock {
+		panic("pseudo: external build with M below four blocks")
+	}
+	if in.Len() <= cfg.M {
+		items := in.ReadAll()
+		in.Free()
+		emitInMemory(items, cfg.B, emit)
+		return
+	}
+	var lists [4]*storage.ItemFile
+	for d := 0; d < 4; d++ {
+		lists[d] = extsort.Sort(disk, in, extsort.AxisKey(d), extsort.Config{MemoryItems: cfg.M})
+	}
+	in.Free()
+	e := &externalBuilder{disk: disk, cfg: cfg, emit: emit}
+	e.recurse(lists, 0)
+}
+
+func emitInMemory(items []geom.Item, b int, emit func(LeafGroup)) {
+	if len(items) == 0 {
+		return
+	}
+	t := Build(items, b, true)
+	for _, lg := range t.Leaves() {
+		emit(lg)
+	}
+}
+
+// key2 is a point in one dimension of the strict total order
+// (coordinate, id) used for all divisions.
+type key2 struct {
+	v   float64
+	tie uint32
+}
+
+func (k key2) less(o key2) bool {
+	if k.v != o.v {
+		return k.v < o.v
+	}
+	return k.tie < o.tie
+}
+
+func negInfKey() key2 { return key2{v: math.Inf(-1)} }
+func posInfKey() key2 { return key2{v: math.Inf(1), tie: ^uint32(0)} }
+
+func itemKey(it geom.Item, axis int) key2 {
+	return key2{v: it.Rect.Coord(axis), tie: it.ID}
+}
+
+// slab is a half-open interval [lo, next.lo) of one dimension's total
+// order, together with the record range it occupies in that dimension's
+// sorted list.
+type slab struct {
+	id         int32
+	lo         key2
+	start, end int
+}
+
+// region is a 4-dimensional box in total-order space; bounds always
+// coincide with slab boundaries.
+type region struct {
+	lo, hi [4]key2 // half-open: lo <= key < hi
+}
+
+func (r region) contains(it geom.Item) bool {
+	for d := 0; d < 4; d++ {
+		k := itemKey(it, d)
+		if k.less(r.lo[d]) || !k.less(r.hi[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// cellKey identifies a grid cell by its four slab ids.
+type cellKey [4]int32
+
+// extNode is one internal node of the in-memory kd-subtree built per round.
+type extNode struct {
+	axis        int
+	key         key2 // items with (coord, id) < key go left
+	left, right int  // >= 0: node index; < 0: leaf region ~(idx)
+	pq          [4]*prioHeap
+}
+
+type externalBuilder struct {
+	disk *storage.Disk
+	cfg  ExternalConfig
+	emit func(LeafGroup)
+
+	// Per-round state.
+	slabs   [4][]slab
+	nextID  int32
+	counts  map[cellKey]int
+	lists   [4]*storage.ItemFile
+	nodes   []extNode
+	regions []region
+	axis0   int
+}
+
+func (e *externalBuilder) recurse(lists [4]*storage.ItemFile, axis int) {
+	n := lists[0].Len()
+	if n == 0 {
+		for d := 0; d < 4; d++ {
+			lists[d].Free()
+		}
+		return
+	}
+	if n <= e.cfg.M {
+		items := lists[0].ReadAll()
+		for d := 0; d < 4; d++ {
+			lists[d].Free()
+		}
+		emitInMemory(items, e.cfg.B, e.emit)
+		return
+	}
+
+	e.lists = lists
+	e.axis0 = axis
+	e.buildGrid(n)
+	levels := e.kdLevels(n)
+	e.nodes = e.nodes[:0]
+	e.regions = e.regions[:0]
+	root := e.buildSubtree(fullRegion(), n, 0, levels)
+
+	if root < 0 {
+		// Could not split at all (pathological duplicates): fall back to
+		// in-memory construction despite the memory budget.
+		items := lists[0].ReadAll()
+		for d := 0; d < 4; d++ {
+			lists[d].Free()
+		}
+		emitInMemory(items, e.cfg.B, e.emit)
+		return
+	}
+
+	e.fillPriorityLeaves(root)
+	placed := e.placedIDs()
+	outLists := e.distribute(placed)
+	for d := 0; d < 4; d++ {
+		lists[d].Free()
+	}
+	// Emit priority leaves and recurse into leaf regions in DFS order so
+	// that spatially close groups stay adjacent for the level above.
+	e.finish(root, outLists, axis, levels)
+}
+
+// kdLevels picks how many kd levels to build this round: log2(z) with
+// z = Theta(M^(1/4)), clamped to keep at least one level.
+func (e *externalBuilder) kdLevels(n int) int {
+	z := int(math.Floor(math.Pow(float64(e.cfg.M), 0.25)))
+	if z < 2 {
+		z = 2
+	}
+	if z > 64 {
+		z = 64
+	}
+	levels := 0
+	for 1<<(levels+1) <= z {
+		levels++
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	return levels
+}
+
+func fullRegion() region {
+	var r region
+	for d := 0; d < 4; d++ {
+		r.lo[d] = negInfKey()
+		r.hi[d] = posInfKey()
+	}
+	return r
+}
+
+// buildGrid reads the z-quantiles of each sorted list, initializes the
+// slab structures, and counts every item into its grid cell with one scan.
+func (e *externalBuilder) buildGrid(n int) {
+	z := int(math.Floor(math.Pow(float64(e.cfg.M), 0.25)))
+	if z < 2 {
+		z = 2
+	}
+	if z > 64 {
+		z = 64
+	}
+	if z > n {
+		z = n
+	}
+	e.nextID = 0
+	for d := 0; d < 4; d++ {
+		e.slabs[d] = e.slabs[d][:0]
+		prev := negInfKey()
+		start := 0
+		for k := 1; k <= z; k++ {
+			end := k * n / z
+			if k == z {
+				end = n
+			}
+			if end <= start {
+				continue
+			}
+			e.slabs[d] = append(e.slabs[d], slab{id: e.nextID, lo: prev, start: start, end: end})
+			e.nextID++
+			if k < z {
+				r := e.lists[d].ReaderAt(end)
+				it, ok := r.Next()
+				if !ok {
+					break
+				}
+				prev = itemKey(it, d)
+				start = end
+			}
+		}
+	}
+	e.counts = make(map[cellKey]int, 1<<12)
+	r := e.lists[0].Reader()
+	for {
+		it, ok := r.Next()
+		if !ok {
+			break
+		}
+		e.counts[e.cellOf(it)]++
+	}
+}
+
+// slabIndex returns the index of the slab of dimension d containing key k.
+func (e *externalBuilder) slabIndex(d int, k key2) int {
+	s := e.slabs[d]
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if !k.less(s[mid].lo) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func (e *externalBuilder) cellOf(it geom.Item) cellKey {
+	var c cellKey
+	for d := 0; d < 4; d++ {
+		c[d] = e.slabs[d][e.slabIndex(d, itemKey(it, d))].id
+	}
+	return c
+}
+
+// buildSubtree recursively splits region (holding total items) on the
+// round-robin axis until depth levels are built or the region fits in
+// memory. It returns a node index (>= 0) or ~regionIndex (< 0).
+func (e *externalBuilder) buildSubtree(r region, total, depth, levels int) int {
+	if depth >= levels || total <= e.cfg.M/2 {
+		e.regions = append(e.regions, r)
+		return ^(len(e.regions) - 1)
+	}
+	axis := (e.axis0 + depth) & 3
+	key, leftCount, ok := e.split(r, axis, total)
+	if !ok {
+		e.regions = append(e.regions, r)
+		return ^(len(e.regions) - 1)
+	}
+	leftR, rightR := r, r
+	leftR.hi[axis] = key
+	rightR.lo[axis] = key
+	idx := len(e.nodes)
+	e.nodes = append(e.nodes, extNode{axis: axis, key: key})
+	for dir := 0; dir < 4; dir++ {
+		e.nodes[idx].pq[dir] = newPrioHeap(dir, e.cfg.B)
+	}
+	l := e.buildSubtree(leftR, leftCount, depth+1, levels)
+	rgt := e.buildSubtree(rightR, total-leftCount, depth+1, levels)
+	e.nodes[idx].left = l
+	e.nodes[idx].right = rgt
+	return idx
+}
+
+// split finds the exact weighted median of region r along axis using the
+// grid counts plus one scan of the median slab from the sorted list, then
+// refines the grid at the split key. It returns the split key and the
+// exact number of region items strictly below it.
+func (e *externalBuilder) split(r region, axis, total int) (key2, int, bool) {
+	if total < 2 {
+		return key2{}, 0, false
+	}
+	target := total / 2
+	if target == 0 {
+		target = 1
+	}
+
+	// Identify the in-region slab id sets of every dimension; region bounds
+	// always coincide with slab boundaries, so a slab is in the region
+	// exactly when its lower bound lies in [lo, hi).
+	var inRegion [4]map[int32]bool
+	for d := 0; d < 4; d++ {
+		inRegion[d] = make(map[int32]bool)
+		for _, s := range e.slabs[d] {
+			if !s.lo.less(r.lo[d]) && s.lo.less(r.hi[d]) {
+				inRegion[d][s.id] = true
+			}
+		}
+	}
+	// Per-slab region counts along axis.
+	slabCount := make(map[int32]int)
+	for c, cnt := range e.counts {
+		in := true
+		for d := 0; d < 4; d++ {
+			if !inRegion[d][c[d]] {
+				in = false
+				break
+			}
+		}
+		if in {
+			slabCount[c[axis]] += cnt
+		}
+	}
+	// Walk the axis slabs in order to find the slab holding the target.
+	cum := 0
+	var median slab
+	medianIdx := -1
+	for i, s := range e.slabs[axis] {
+		if !inRegion[axis][s.id] {
+			continue
+		}
+		cnt := slabCount[s.id]
+		if cum+cnt >= target && cnt > 0 {
+			median = s
+			medianIdx = i
+			break
+		}
+		cum += cnt
+	}
+	if medianIdx < 0 {
+		return key2{}, 0, false
+	}
+
+	// Scan the median slab's record range from the axis-sorted list; the
+	// slab's records are contiguous there (cost O(slabSize/B) block reads).
+	all := make([]geom.Item, 0, median.end-median.start)
+	rd := e.lists[axis].ReaderAt(median.start)
+	for i := median.start; i < median.end; i++ {
+		it, ok := rd.Next()
+		if !ok {
+			break
+		}
+		all = append(all, it)
+	}
+	// Rank the region members of the slab; records are already sorted by
+	// (coord, id) on axis.
+	rank := target - cum // number of the slab's region items going left
+	var split key2
+	seen := 0
+	idxInAll := -1
+	for i, it := range all {
+		if r.contains(it) {
+			seen++
+			if seen == rank+1 {
+				split = itemKey(it, axis)
+				idxInAll = i
+				break
+			}
+		}
+	}
+	if idxInAll < 0 {
+		// Every region item of the median slab goes left: split exactly at
+		// the slab's upper boundary (the next slab's lower bound), which
+		// requires no grid refinement. If the median slab is the last one
+		// in the region, the right side would be empty and no split exists.
+		if medianIdx+1 >= len(e.slabs[axis]) {
+			return key2{}, 0, false
+		}
+		next := e.slabs[axis][medianIdx+1].lo
+		if !next.less(r.hi[axis]) {
+			return key2{}, 0, false
+		}
+		return next, cum + seen, true
+	}
+	leftCount := cum + rank
+
+	// Refine the grid: divide the median slab at the split key and
+	// recount the affected cells exactly from the scan.
+	k := sort.Search(len(all), func(i int) bool {
+		return !itemKey(all[i], axis).less(split)
+	})
+	newID := e.nextID
+	e.nextID++
+	si := e.slabIndexByID(axis, median.id)
+	right := slab{id: newID, lo: split, start: median.start + k, end: median.end}
+	e.slabs[axis][si].end = median.start + k
+	e.slabs[axis] = append(e.slabs[axis], slab{})
+	copy(e.slabs[axis][si+2:], e.slabs[axis][si+1:])
+	e.slabs[axis][si+1] = right
+	// Purge counts involving the median slab and re-add from the scan.
+	for c := range e.counts {
+		if c[axis] == median.id {
+			delete(e.counts, c)
+		}
+	}
+	for _, it := range all {
+		e.counts[e.cellOf(it)]++
+	}
+	return split, leftCount, true
+}
+
+func (e *externalBuilder) slabIndexByID(d int, id int32) int {
+	for i, s := range e.slabs[d] {
+		if s.id == id {
+			return i
+		}
+	}
+	panic("pseudo: slab id not found")
+}
+
+// fillPriorityLeaves streams every item through the kd-subtree, maintaining
+// the B most extreme rectangles per direction per node with bounded heaps;
+// displaced rectangles continue filtering exactly as in the paper.
+func (e *externalBuilder) fillPriorityLeaves(root int) {
+	r := e.lists[0].Reader()
+	for {
+		it, ok := r.Next()
+		if !ok {
+			return
+		}
+		cur := it
+		node := root
+		for node >= 0 {
+			n := &e.nodes[node]
+			placedHere := false
+			for dir := 0; dir < 4; dir++ {
+				pq := n.pq[dir]
+				if pq.Len() < pq.cap {
+					heap.Push(pq, cur)
+					placedHere = true
+					break
+				}
+				if pq.moreExtreme(cur, pq.items[0]) {
+					cur, pq.items[0] = pq.items[0], cur
+					heap.Fix(pq, 0)
+				}
+			}
+			if placedHere {
+				break
+			}
+			if itemKey(cur, n.axis).less(n.key) {
+				node = n.left
+			} else {
+				node = n.right
+			}
+		}
+	}
+}
+
+func (e *externalBuilder) placedIDs() map[uint32]bool {
+	placed := make(map[uint32]bool)
+	for i := range e.nodes {
+		for dir := 0; dir < 4; dir++ {
+			for _, it := range e.nodes[i].pq[dir].items {
+				placed[it.ID] = true
+			}
+		}
+	}
+	return placed
+}
+
+// distribute scans each sorted list once, routing every unplaced item to
+// its leaf region's list for that dimension (order is preserved, so the
+// child lists remain sorted).
+func (e *externalBuilder) distribute(placed map[uint32]bool) [][4]*storage.ItemFile {
+	out := make([][4]*storage.ItemFile, len(e.regions))
+	for i := range out {
+		for d := 0; d < 4; d++ {
+			out[i][d] = storage.NewItemFile(e.disk)
+		}
+	}
+	for d := 0; d < 4; d++ {
+		rd := e.lists[d].Reader()
+		for {
+			it, ok := rd.Next()
+			if !ok {
+				break
+			}
+			if placed[it.ID] {
+				continue
+			}
+			out[e.routeToRegion(it)][d].Append(it)
+		}
+	}
+	for i := range out {
+		for d := 0; d < 4; d++ {
+			out[i][d].Seal()
+		}
+	}
+	return out
+}
+
+func (e *externalBuilder) routeToRegion(it geom.Item) int {
+	node := 0
+	for node >= 0 {
+		n := &e.nodes[node]
+		if itemKey(it, n.axis).less(n.key) {
+			node = n.left
+		} else {
+			node = n.right
+		}
+	}
+	return ^node
+}
+
+// finish emits the round's priority leaves and recurses into leaf regions
+// in depth-first order. The builder's per-round state is copied out first
+// because recursion reuses it.
+func (e *externalBuilder) finish(root int, outLists [][4]*storage.ItemFile, axis, levels int) {
+	nodes := make([]extNode, len(e.nodes))
+	copy(nodes, e.nodes)
+	regionDepth := make([]int, len(e.regions))
+	var markDepth func(idx, depth int)
+	markDepth = func(idx, depth int) {
+		if idx < 0 {
+			regionDepth[^idx] = depth
+			return
+		}
+		markDepth(nodes[idx].left, depth+1)
+		markDepth(nodes[idx].right, depth+1)
+	}
+	markDepth(root, 0)
+
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		if idx < 0 {
+			ri := ^idx
+			e.recurse(outLists[ri], axis+regionDepth[ri])
+			return
+		}
+		n := nodes[idx]
+		for dir := 0; dir < 4; dir++ {
+			if items := n.pq[dir].items; len(items) > 0 {
+				e.emit(LeafGroup{Items: items, Priority: true, Dir: dir})
+			}
+		}
+		dfs(n.left)
+		dfs(n.right)
+	}
+	dfs(root)
+}
+
+// prioHeap keeps the capacity-B most extreme items in one direction; the
+// heap top is the least extreme member (the eviction candidate).
+type prioHeap struct {
+	items []geom.Item
+	cap   int
+	// moreExtreme(a, b) reports a strictly more extreme than b.
+	moreExtreme func(a, b geom.Item) bool
+}
+
+func newPrioHeap(dir, capacity int) *prioHeap {
+	return &prioHeap{cap: capacity, moreExtreme: extremeLess(dir)}
+}
+
+func (h *prioHeap) Len() int { return len(h.items) }
+func (h *prioHeap) Less(i, j int) bool {
+	// Min-extremeness heap: the root is the least extreme item.
+	return h.moreExtreme(h.items[j], h.items[i])
+}
+func (h *prioHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *prioHeap) Push(x interface{}) { h.items = append(h.items, x.(geom.Item)) }
+func (h *prioHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,309 @@
+package pseudo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"prtree/internal/geom"
+)
+
+func randItems(n int, seed int64) []geom.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]geom.Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = geom.Item{
+			Rect: geom.NewRect(x, y, x+rng.Float64()*0.02, y+rng.Float64()*0.02),
+			ID:   uint32(i),
+		}
+	}
+	return items
+}
+
+func TestSelectKPartitions(t *testing.T) {
+	for _, dir := range []int{0, 1, 2, 3} {
+		items := randItems(500, int64(dir+1))
+		less := extremeLess(dir)
+		selectK(items, 100, less)
+		// max of first 100 must not exceed min of the rest.
+		worstIn := items[0]
+		for _, it := range items[:100] {
+			if less(worstIn, it) {
+				worstIn = it
+			}
+		}
+		for _, it := range items[100:] {
+			if less(it, worstIn) {
+				t.Fatalf("dir %d: item outside first 100 is more extreme", dir)
+			}
+		}
+	}
+}
+
+func TestSelectKQuick(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		items := randItems(64, seed)
+		k := int(kRaw) % 64
+		less := axisLess(0)
+		selectK(items, k, less)
+		if k == 0 {
+			return true
+		}
+		worst := items[0]
+		for _, it := range items[:k] {
+			if less(worst, it) {
+				worst = it
+			}
+		}
+		for _, it := range items[k:] {
+			if less(it, worst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectKEdges(t *testing.T) {
+	items := randItems(10, 1)
+	orig := append([]geom.Item{}, items...)
+	selectK(items, 0, axisLess(0))
+	selectK(items, 10, axisLess(0))
+	selectK(items, 15, axisLess(0))
+	// Multiset unchanged.
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	sort.Slice(orig, func(i, j int) bool { return orig[i].ID < orig[j].ID })
+	for i := range orig {
+		if items[i] != orig[i] {
+			t.Fatal("selectK corrupted items")
+		}
+	}
+}
+
+func TestBuildSizes(t *testing.T) {
+	for _, tc := range []struct {
+		n, b int
+	}{
+		{1, 8}, {8, 8}, {9, 8}, {20, 8}, {32, 8}, {33, 8},
+		{100, 8}, {1000, 8}, {5000, 16}, {200, 1}, {500, 113},
+	} {
+		items := randItems(tc.n, int64(tc.n))
+		tr := Build(items, tc.b, false)
+		if tr.N != tc.n {
+			t.Fatalf("n=%d b=%d: N=%d", tc.n, tc.b, tr.N)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d b=%d: %v", tc.n, tc.b, err)
+		}
+		if got := len(tr.Items()); got != tc.n {
+			t.Fatalf("n=%d b=%d: Items()=%d", tc.n, tc.b, got)
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tr := Build(nil, 8, false)
+	if tr.Root != nil || tr.N != 0 {
+		t.Error("empty build should have nil root")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	if st := tr.Query(geom.NewRect(0, 0, 1, 1), nil); st.Results != 0 {
+		t.Error("empty query should find nothing")
+	}
+}
+
+func TestBuildRoundToBFillsLeaves(t *testing.T) {
+	items := randItems(113*40, 42)
+	tr := Build(items, 113, true)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaves := tr.Leaves()
+	full := 0
+	total := 0
+	for _, lg := range leaves {
+		total += len(lg.Items)
+		if len(lg.Items) == 113 {
+			full++
+		}
+	}
+	if total != len(items) {
+		t.Fatalf("leaves hold %d of %d items", total, len(items))
+	}
+	if frac := float64(full) / float64(len(leaves)); frac < 0.9 {
+		t.Errorf("only %.2f of leaves full with round-to-B", frac)
+	}
+}
+
+func TestLeavesPartitionItems(t *testing.T) {
+	items := randItems(3000, 7)
+	tr := Build(items, 16, false)
+	seen := make(map[uint32]bool)
+	for _, lg := range tr.Leaves() {
+		if len(lg.Items) == 0 || len(lg.Items) > 16 {
+			t.Fatalf("leaf size %d", len(lg.Items))
+		}
+		for _, it := range lg.Items {
+			if seen[it.ID] {
+				t.Fatalf("item %d in two leaves", it.ID)
+			}
+			seen[it.ID] = true
+		}
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("leaves cover %d of %d items", len(seen), len(items))
+	}
+}
+
+func TestPriorityLeavesAreExtreme(t *testing.T) {
+	items := randItems(2000, 8)
+	tr := Build(items, 32, false)
+	root := tr.Root
+	if root.IsLeaf() {
+		t.Fatal("root should be internal")
+	}
+	// The root's xmin priority leaf must contain the B globally smallest
+	// xmin rectangles.
+	sorted := append([]geom.Item{}, items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Rect.MinX != sorted[j].Rect.MinX {
+			return sorted[i].Rect.MinX < sorted[j].Rect.MinX
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	want := make(map[uint32]bool)
+	for _, it := range sorted[:32] {
+		want[it.ID] = true
+	}
+	for _, it := range root.Priority[0] {
+		if !want[it.ID] {
+			t.Fatalf("root xmin leaf holds non-extreme item %d", it.ID)
+		}
+	}
+	if len(root.Priority[0]) != 32 {
+		t.Fatalf("root xmin leaf has %d items", len(root.Priority[0]))
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	items := randItems(4000, 9)
+	tr := Build(items, 16, true)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 60; i++ {
+		q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		want := 0
+		for _, it := range items {
+			if q.Intersects(it.Rect) {
+				want++
+			}
+		}
+		got := make(map[uint32]bool)
+		st := tr.Query(q, func(it geom.Item) bool {
+			got[it.ID] = true
+			return true
+		})
+		if len(got) != want || st.Results != want {
+			t.Fatalf("query %d: got %d (stats %d), want %d", i, len(got), st.Results, want)
+		}
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	items := randItems(1000, 11)
+	tr := Build(items, 16, false)
+	count := 0
+	tr.Query(geom.NewRect(0, 0, 2, 2), func(geom.Item) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop after %d", count)
+	}
+}
+
+// TestLemma2QueryBound checks the paper's central claim empirically: a
+// window query on a pseudo-PR-tree over N rectangles visits
+// O(sqrt(N/B) + T/B) blocks. We use zero-output line probes on uniform
+// points so T = 0 and the bound is purely c*sqrt(N/B).
+func TestLemma2QueryBound(t *testing.T) {
+	b := 16
+	for _, n := range []int{1000, 4000, 16000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		items := make([]geom.Item, n)
+		for i := range items {
+			// Points on a jittered grid, off the probe lines.
+			items[i] = geom.Item{Rect: geom.PointRect(rng.Float64(), math.Floor(rng.Float64()*1000)/1000+0.0003), ID: uint32(i)}
+		}
+		tr := Build(items, b, true)
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		bound := 10*math.Sqrt(float64(n)/float64(b)) + 10
+		worst := 0
+		for i := 0; i < 50; i++ {
+			y := math.Floor(rng.Float64()*1000)/1000 + 0.0001 // between grid rows
+			st := tr.Query(geom.NewRect(0, y, 1, y+0.0001), nil)
+			if st.Results != 0 {
+				t.Fatalf("probe hit %d results; dataset construction broken", st.Results)
+			}
+			if v := st.LeavesVisited + st.InternalVisited; v > worst {
+				worst = v
+			}
+		}
+		if float64(worst) > bound {
+			t.Errorf("n=%d: worst zero-output query visited %d blocks, bound %d",
+				n, worst, int(bound))
+		}
+	}
+}
+
+func TestBuildManyDuplicates(t *testing.T) {
+	items := make([]geom.Item, 500)
+	for i := range items {
+		items[i] = geom.Item{Rect: geom.NewRect(0.5, 0.5, 0.6, 0.6), ID: uint32(i)}
+	}
+	tr := Build(items, 8, true)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Query(geom.NewRect(0.55, 0.55, 0.56, 0.56), nil)
+	if st.Results != 500 {
+		t.Errorf("duplicates query found %d", st.Results)
+	}
+}
+
+func TestBuildBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("B=0 should panic")
+		}
+	}()
+	Build(randItems(10, 1), 0, false)
+}
+
+func TestBoundsCoverSubtrees(t *testing.T) {
+	items := randItems(2000, 12)
+	tr := Build(items, 16, false)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		for _, it := range collect(n, nil) {
+			if !n.Bounds.Contains(it.Rect) {
+				t.Fatalf("bounds %v miss item %v", n.Bounds, it.Rect)
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tr.Root)
+}

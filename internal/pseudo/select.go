@@ -1,0 +1,93 @@
+// Package pseudo implements the pseudo-PR-tree of Section 2.1 of the
+// paper: a four-dimensional kd-tree over the corner transform
+// (xmin, ymin, xmax, ymax) where every internal node carries four priority
+// leaves holding the B most extreme rectangles in each direction. It
+// provides the exact in-memory construction, the I/O-efficient external
+// grid construction, and a window-query engine used to verify Lemma 2.
+package pseudo
+
+import "prtree/internal/geom"
+
+// extremeLess orders items by "more extreme first" along a priority
+// direction: directions 0 and 1 (xmin, ymin) prefer small coordinates,
+// directions 2 and 3 (xmax, ymax) prefer large ones. Ties break by id so
+// every order is strict.
+func extremeLess(dir int) func(a, b geom.Item) bool {
+	if dir < 2 {
+		return func(a, b geom.Item) bool {
+			av, bv := a.Rect.Coord(dir), b.Rect.Coord(dir)
+			if av != bv {
+				return av < bv
+			}
+			return a.ID < b.ID
+		}
+	}
+	return func(a, b geom.Item) bool {
+		av, bv := a.Rect.Coord(dir), b.Rect.Coord(dir)
+		if av != bv {
+			return av > bv
+		}
+		return a.ID < b.ID
+	}
+}
+
+// axisLess orders items ascending by the corner-transform coordinate with
+// id tie-break — the kd-split order.
+func axisLess(axis int) func(a, b geom.Item) bool {
+	return func(a, b geom.Item) bool {
+		av, bv := a.Rect.Coord(axis), b.Rect.Coord(axis)
+		if av != bv {
+			return av < bv
+		}
+		return a.ID < b.ID
+	}
+}
+
+// selectK partially sorts items so that the k smallest under less occupy
+// items[:k] (in unspecified order). It is the in-place quickselect used to
+// peel off priority leaves and to find kd medians. A deterministic
+// xorshift pivot choice with three-way partitioning keeps it expected
+// linear on any input, including the partially-partitioned arrays the
+// pseudo-PR-tree construction itself produces.
+func selectK(items []geom.Item, k int, less func(a, b geom.Item) bool) {
+	if k <= 0 || k >= len(items) {
+		return
+	}
+	lo, hi := 0, len(items) // half-open window still containing index k-1
+	rng := uint64(0x9e3779b97f4a7c15)
+	for hi-lo > 1 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		pivot := items[lo+int(rng%uint64(hi-lo))]
+		lt, gt := threeWayPartition(items, lo, hi, pivot, less)
+		switch {
+		case k <= lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return // k falls inside the equal run: done
+		}
+	}
+}
+
+// threeWayPartition rearranges items[lo:hi] into < pivot, == pivot,
+// > pivot runs and returns the equal run's bounds [lt, gt).
+func threeWayPartition(items []geom.Item, lo, hi int, pivot geom.Item, less func(a, b geom.Item) bool) (int, int) {
+	lt, i, gt := lo, lo, hi
+	for i < gt {
+		switch {
+		case less(items[i], pivot):
+			items[lt], items[i] = items[i], items[lt]
+			lt++
+			i++
+		case less(pivot, items[i]):
+			gt--
+			items[gt], items[i] = items[i], items[gt]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}

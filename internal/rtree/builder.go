@@ -1,0 +1,111 @@
+package rtree
+
+import (
+	"fmt"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// Builder writes a tree bottom-up or top-down on behalf of the bulk
+// loaders. Every page written is counted as a block write on the disk, so
+// bulk-loading I/O is measured, not modeled.
+type Builder struct {
+	tree   *Tree
+	nItems int
+}
+
+// NewBuilder prepares building a tree on pager. The builder owns the tree
+// until Finish is called.
+func NewBuilder(pager *storage.Pager, cfg Config) *Builder {
+	normalizeConfig(&cfg, pager.Disk().BlockSize())
+	t := &Tree{pager: pager, cfg: cfg, buf: make([]byte, pager.Disk().BlockSize())}
+	return &Builder{tree: t}
+}
+
+// Fanout returns the effective maximum entries per node.
+func (b *Builder) Fanout() int { return b.tree.cfg.Fanout }
+
+// WriteLeaf writes one leaf page holding items (1..Fanout entries) and
+// returns its child entry for the level above.
+func (b *Builder) WriteLeaf(items []geom.Item) ChildEntry {
+	if len(items) == 0 || len(items) > b.tree.cfg.Fanout {
+		panic(fmt.Sprintf("rtree: leaf with %d entries (fanout %d)", len(items), b.tree.cfg.Fanout))
+	}
+	n := &node{kind: kindLeaf}
+	for _, it := range items {
+		n.append(it.Rect, it.ID)
+	}
+	id := b.tree.allocNode(n)
+	b.nItems += len(items)
+	return ChildEntry{Rect: n.mbr(), Page: id}
+}
+
+// WriteInternal writes one internal page over the given children
+// (1..Fanout entries) and returns its child entry.
+func (b *Builder) WriteInternal(children []ChildEntry) ChildEntry {
+	if len(children) == 0 || len(children) > b.tree.cfg.Fanout {
+		panic(fmt.Sprintf("rtree: internal node with %d entries (fanout %d)", len(children), b.tree.cfg.Fanout))
+	}
+	n := &node{kind: kindInternal}
+	out := geom.EmptyRect()
+	for _, c := range children {
+		n.append(c.Rect, uint32(c.Page))
+		out = out.Union(c.Rect)
+	}
+	id := b.tree.allocNode(n)
+	return ChildEntry{Rect: out, Page: id}
+}
+
+// PackLevel groups consecutive entries into nodes of at most Fanout
+// children — the bottom-up packing step shared by the packed Hilbert, STR
+// and PR-tree loaders. Groups are balanced so no node is underfull: the
+// remainder is spread by using ceil division.
+func (b *Builder) PackLevel(children []ChildEntry) []ChildEntry {
+	f := b.tree.cfg.Fanout
+	nGroups := (len(children) + f - 1) / f
+	out := make([]ChildEntry, 0, nGroups)
+	for i := 0; i < nGroups; i++ {
+		lo := i * len(children) / nGroups
+		hi := (i + 1) * len(children) / nGroups
+		out = append(out, b.WriteInternal(children[lo:hi]))
+	}
+	return out
+}
+
+// FinishPacked repeatedly packs levels until a single root remains and
+// returns the finished tree. leafLevel must be the entries returned by
+// WriteLeaf calls, in the desired packing order.
+func (b *Builder) FinishPacked(leafLevel []ChildEntry) *Tree {
+	if len(leafLevel) == 0 {
+		return b.FinishEmpty()
+	}
+	level := leafLevel
+	height := 1
+	for len(level) > 1 {
+		level = b.PackLevel(level)
+		height++
+	}
+	return b.Finish(level[0], height)
+}
+
+// Finish seals the tree with the given root entry and height (number of
+// levels; 1 means the root is a leaf).
+func (b *Builder) Finish(root ChildEntry, height int) *Tree {
+	t := b.tree
+	t.root = root.Page
+	t.height = height
+	t.nItems = b.nItems
+	b.tree = nil
+	return t
+}
+
+// FinishEmpty seals an empty tree (a single empty leaf).
+func (b *Builder) FinishEmpty() *Tree {
+	t := b.tree
+	t.root = t.allocNode(&node{kind: kindLeaf})
+	t.height = 1
+	t.nItems = 0
+	b.tree = nil
+	return t
+}

@@ -1,0 +1,152 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// This file implements the other classic R-tree queries the paper alludes
+// to ("many types of queries can be answered efficiently using an
+// R-tree"): point stabbing, containment, and best-first k-nearest-neighbor
+// search (Hjaltason & Samet's incremental algorithm), all with the same
+// block-level accounting as window queries.
+
+// PointQuery reports every stored rectangle containing the point (x, y).
+func (t *Tree) PointQuery(x, y float64, fn func(geom.Item) bool) QueryStats {
+	return t.Query(geom.PointRect(x, y), fn)
+}
+
+// ContainmentQuery reports every stored rectangle fully contained in q.
+// Traversal prunes on intersection (a containing leaf entry must intersect
+// q) and filters on containment at the leaves.
+func (t *Tree) ContainmentQuery(q geom.Rect, fn func(geom.Item) bool) QueryStats {
+	var st QueryStats
+	t.containment(t.root, q, fn, &st)
+	return st
+}
+
+func (t *Tree) containment(id storage.PageID, q geom.Rect, fn func(geom.Item) bool, st *QueryStats) bool {
+	n := t.readNode(id)
+	st.NodesVisited++
+	if n.isLeaf() {
+		st.LeavesVisited++
+		for i := range n.rects {
+			if q.Contains(n.rects[i]) {
+				st.Results++
+				if fn != nil && !fn(geom.Item{Rect: n.rects[i], ID: n.refs[i]}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	st.InternalVisited++
+	for i := range n.rects {
+		if q.Intersects(n.rects[i]) {
+			if !t.containment(storage.PageID(n.refs[i]), q, fn, st) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Neighbor is one k-nearest-neighbor result with its squared distance
+// from the query point to the rectangle (0 when the point is inside).
+type Neighbor struct {
+	Item  geom.Item
+	Dist2 float64
+}
+
+// NearestNeighbors returns the k stored rectangles closest to (x, y) in
+// ascending distance order, using best-first search: a global priority
+// queue over node bounding-box distances guarantees no node is read unless
+// it could contain one of the k answers.
+func (t *Tree) NearestNeighbors(x, y float64, k int) ([]Neighbor, QueryStats) {
+	var st QueryStats
+	if k <= 0 || t.nItems == 0 {
+		return nil, st
+	}
+	pq := &distHeap{}
+	heap.Push(pq, distEntry{dist2: 0, page: t.root, isNode: true})
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(distEntry)
+		if !e.isNode {
+			out = append(out, Neighbor{Item: e.item, Dist2: e.dist2})
+			if len(out) == k {
+				return out, st
+			}
+			continue
+		}
+		n := t.readNode(e.page)
+		st.NodesVisited++
+		if n.isLeaf() {
+			st.LeavesVisited++
+			for i := range n.rects {
+				heap.Push(pq, distEntry{
+					dist2: pointRectDist2(x, y, n.rects[i]),
+					item:  geom.Item{Rect: n.rects[i], ID: n.refs[i]},
+				})
+			}
+		} else {
+			st.InternalVisited++
+			for i := range n.rects {
+				heap.Push(pq, distEntry{
+					dist2:  pointRectDist2(x, y, n.rects[i]),
+					page:   storage.PageID(n.refs[i]),
+					isNode: true,
+				})
+			}
+		}
+	}
+	return out, st
+}
+
+// pointRectDist2 returns the squared Euclidean distance from a point to
+// the nearest point of r (0 if inside).
+func pointRectDist2(x, y float64, r geom.Rect) float64 {
+	var dx, dy float64
+	switch {
+	case x < r.MinX:
+		dx = r.MinX - x
+	case x > r.MaxX:
+		dx = x - r.MaxX
+	}
+	switch {
+	case y < r.MinY:
+		dy = r.MinY - y
+	case y > r.MaxY:
+		dy = y - r.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
+type distEntry struct {
+	dist2  float64
+	page   storage.PageID
+	isNode bool
+	item   geom.Item
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int { return len(h) }
+func (h distHeap) Less(i, j int) bool {
+	if h[i].dist2 != h[j].dist2 {
+		return h[i].dist2 < h[j].dist2
+	}
+	// Pop items before nodes at equal distance so results surface eagerly.
+	return !h[i].isNode && h[j].isNode
+}
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,122 @@
+// Package rtree implements the paged R-tree container shared by every index
+// variant in this repository: the on-disk node layout (one node per 4 KB
+// block, 36-byte entries, max fanout 113 — the paper's exact layout), the
+// window-query engine with block-level I/O accounting, bottom-up and
+// top-down build helpers for the bulk loaders, Guttman's dynamic update
+// algorithms, and structural validation used by the tests.
+package rtree
+
+import (
+	"fmt"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// Node kinds as stored in the page header.
+const (
+	kindLeaf     byte = 0
+	kindInternal byte = 1
+)
+
+// headerSize is the per-page header: kind byte, pad byte, uint16 count.
+const headerSize = 4
+
+// EntrySize is the on-disk entry footprint (rect + 4-byte pointer).
+const EntrySize = storage.ItemSize
+
+// MaxFanout returns the maximum number of entries per node for a block size
+// (113 for 4 KB blocks).
+func MaxFanout(blockSize int) int {
+	return (blockSize - headerSize) / EntrySize
+}
+
+// ChildEntry describes a child of an internal node: the minimal bounding
+// box of the child's subtree and the page holding the child.
+type ChildEntry struct {
+	Rect geom.Rect
+	Page storage.PageID
+}
+
+// node is the in-memory form of a page.
+type node struct {
+	kind  byte
+	rects []geom.Rect
+	// refs holds data ids for leaves and child page ids for internal nodes.
+	refs []uint32
+}
+
+func (n *node) isLeaf() bool { return n.kind == kindLeaf }
+func (n *node) count() int   { return len(n.rects) }
+
+func (n *node) mbr() geom.Rect {
+	out := geom.EmptyRect()
+	for _, r := range n.rects {
+		out = out.Union(r)
+	}
+	return out
+}
+
+func (n *node) items() []geom.Item {
+	out := make([]geom.Item, len(n.rects))
+	for i := range n.rects {
+		out[i] = geom.Item{Rect: n.rects[i], ID: n.refs[i]}
+	}
+	return out
+}
+
+func (n *node) children() []ChildEntry {
+	out := make([]ChildEntry, len(n.rects))
+	for i := range n.rects {
+		out[i] = ChildEntry{Rect: n.rects[i], Page: storage.PageID(n.refs[i])}
+	}
+	return out
+}
+
+func (n *node) append(r geom.Rect, ref uint32) {
+	n.rects = append(n.rects, r)
+	n.refs = append(n.refs, ref)
+}
+
+func (n *node) remove(i int) {
+	n.rects = append(n.rects[:i], n.rects[i+1:]...)
+	n.refs = append(n.refs[:i], n.refs[i+1:]...)
+}
+
+// encodeNode serializes n into a block-sized buffer.
+func encodeNode(buf []byte, n *node) []byte {
+	cnt := n.count()
+	need := headerSize + cnt*EntrySize
+	if need > len(buf) {
+		panic(fmt.Sprintf("rtree: node with %d entries does not fit in %d-byte block", cnt, len(buf)))
+	}
+	buf[0] = n.kind
+	buf[1] = 0
+	buf[2] = byte(cnt)
+	buf[3] = byte(cnt >> 8)
+	off := headerSize
+	for i := 0; i < cnt; i++ {
+		storage.EncodeItem(buf[off:], geom.Item{Rect: n.rects[i], ID: n.refs[i]})
+		off += EntrySize
+	}
+	return buf[:need]
+}
+
+// decodeNode parses a page into a node.
+func decodeNode(data []byte) *node {
+	kind := data[0]
+	cnt := int(data[2]) | int(data[3])<<8
+	n := &node{
+		kind:  kind,
+		rects: make([]geom.Rect, cnt),
+		refs:  make([]uint32, cnt),
+	}
+	off := headerSize
+	for i := 0; i < cnt; i++ {
+		it := storage.DecodeItem(data[off:])
+		n.rects[i] = it.Rect
+		n.refs[i] = it.ID
+		off += EntrySize
+	}
+	return n
+}

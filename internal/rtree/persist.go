@@ -1,0 +1,87 @@
+package rtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"prtree/internal/storage"
+)
+
+// Tree persistence: the disk snapshot followed by the tree metadata, so a
+// bulk-loaded index survives process restarts.
+
+var treeMagic = [8]byte{'P', 'R', 'T', 'R', 'E', 'E', '0', '1'}
+
+// Save serializes the tree (its disk pages and metadata) to w.
+func (t *Tree) Save(w io.Writer) error {
+	if _, err := t.pager.Disk().WriteTo(w); err != nil {
+		return fmt.Errorf("rtree: saving disk: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(treeMagic[:]); err != nil {
+		return err
+	}
+	meta := []uint64{
+		uint64(t.root),
+		uint64(t.height),
+		uint64(t.nItems),
+		uint64(t.nNodes),
+		uint64(t.cfg.Fanout),
+		uint64(t.cfg.MinFill),
+		uint64(t.cfg.Split),
+	}
+	var buf [8]byte
+	for _, v := range meta {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a tree written by Save, restoring it onto a fresh disk with a
+// pager of the given cache capacity.
+func Load(r io.Reader, cacheCapacity int) (*Tree, error) {
+	disk, err := storage.ReadDiskFrom(r)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: loading disk: %w", err)
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("rtree: reading tree magic: %w", err)
+	}
+	if magic != treeMagic {
+		return nil, fmt.Errorf("rtree: bad tree magic %q", magic[:])
+	}
+	meta := make([]uint64, 7)
+	var buf [8]byte
+	for i := range meta {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("rtree: reading metadata: %w", err)
+		}
+		meta[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	t := &Tree{
+		pager: storage.NewPager(disk, cacheCapacity),
+		cfg: Config{
+			Fanout:  int(meta[4]),
+			MinFill: int(meta[5]),
+			Split:   SplitKind(meta[6]),
+		},
+		root:   storage.PageID(meta[0]),
+		height: int(meta[1]),
+		nItems: int(meta[2]),
+		nNodes: int(meta[3]),
+		buf:    make([]byte, disk.BlockSize()),
+	}
+	if int(t.root) >= disk.NumPages() {
+		return nil, fmt.Errorf("rtree: root page %d out of range", t.root)
+	}
+	if t.height < 1 {
+		return nil, fmt.Errorf("rtree: implausible height %d", t.height)
+	}
+	return t, nil
+}

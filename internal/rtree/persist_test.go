@@ -1,0 +1,155 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	items := randItems(3000, 1)
+	tr := buildPacked(t, items, 16)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.Height() != tr.Height() || got.Nodes() != tr.Nodes() {
+		t.Fatalf("metadata mismatch: %v vs %v", got, tr)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 25; i++ {
+		q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		if err := CheckQueryAgainstBruteForce(got, items, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSaveLoadThenUpdate(t *testing.T) {
+	items := randItems(500, 3)
+	tr := buildPacked(t, items, 8)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reopened tree must accept updates (freelist restored).
+	extra := geom.Item{Rect: geom.NewRect(0.1, 0.1, 0.2, 0.2), ID: 9999}
+	got.Insert(extra)
+	if !got.Delete(items[0]) {
+		t.Fatal("delete on loaded tree failed")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 500 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}
+
+func TestSaveLoadEmptyTree(t *testing.T) {
+	tr := newTestTree(t, Config{Fanout: 8})
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Height() != 1 {
+		t.Fatalf("empty round trip: %v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a tree")), -1); err == nil {
+		t.Error("garbage should not load")
+	}
+	if _, err := Load(bytes.NewReader(nil), -1); err == nil {
+		t.Error("empty input should not load")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	items := randItems(200, 4)
+	tr := buildPacked(t, items, 8)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{10, len(data) / 2, len(data) - 4} {
+		if _, err := Load(bytes.NewReader(data[:cut]), -1); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestDiskSnapshotRoundTrip(t *testing.T) {
+	d := storage.NewDisk(128)
+	var ids []storage.PageID
+	for i := 0; i < 10; i++ {
+		id := d.Alloc()
+		d.Write(id, []byte{byte(i), byte(i * 2)})
+		ids = append(ids, id)
+	}
+	d.Free(ids[3])
+	d.Free(ids[7])
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := storage.ReadDiskFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPages() != d.NumPages() || got.PagesInUse() != d.PagesInUse() {
+		t.Fatalf("page accounting mismatch")
+	}
+	for i, id := range ids {
+		if i == 3 || i == 7 {
+			continue
+		}
+		b := got.PeekNoCopy(id)
+		if b[0] != byte(i) || b[1] != byte(i*2) {
+			t.Fatalf("page %d content mismatch", id)
+		}
+	}
+	// Freed pages must be reused first, like the original.
+	if id := got.Alloc(); id != ids[7] && id != ids[3] {
+		t.Errorf("freelist not restored: alloc returned %d", id)
+	}
+}
+
+func TestSnapshotTrailingDataPreserved(t *testing.T) {
+	// ReadDiskFrom must not consume bytes beyond the snapshot.
+	d := storage.NewDisk(64)
+	id := d.Alloc()
+	d.Write(id, []byte{1})
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("TRAILER")
+	if _, err := storage.ReadDiskFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rest := buf.String()
+	if rest != "TRAILER" {
+		t.Errorf("trailing data corrupted: %q", rest)
+	}
+}

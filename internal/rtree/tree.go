@@ -1,0 +1,265 @@
+package rtree
+
+import (
+	"fmt"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// Config tunes a tree. The zero value selects the paper's defaults.
+type Config struct {
+	// Fanout caps entries per node; 0 means the block-size maximum (113 for
+	// 4 KB blocks).
+	Fanout int
+	// MinFill is the minimum entries in a non-root node before deletion
+	// triggers condensing; 0 means Fanout*2/5 (Guttman's m <= M/2 regime).
+	MinFill int
+	// Split selects the overflow split heuristic for dynamic inserts.
+	Split SplitKind
+}
+
+// SplitKind selects Guttman's node-split heuristic.
+type SplitKind int
+
+const (
+	// QuadraticSplit is Guttman's quadratic-cost split (the common default).
+	QuadraticSplit SplitKind = iota
+	// LinearSplit is Guttman's linear-cost split.
+	LinearSplit
+	// RStarSplit enables the full R*-tree insertion heuristics of
+	// Beckmann et al. (reference [6] of the paper): overlap-minimizing
+	// ChooseSubtree, forced reinsertion, and the margin/overlap split.
+	RStarSplit
+)
+
+// Tree is a paged R-tree. All node accesses go through the pager so that
+// block I/O is counted on the underlying simulated disk.
+type Tree struct {
+	pager  *storage.Pager
+	cfg    Config
+	root   storage.PageID
+	height int // number of levels; 1 = root is a leaf
+	nItems int
+	nNodes int
+	buf    []byte // scratch block for serialization
+}
+
+// New creates an empty tree (a single empty leaf) on the pager.
+func New(pager *storage.Pager, cfg Config) *Tree {
+	normalizeConfig(&cfg, pager.Disk().BlockSize())
+	t := &Tree{pager: pager, cfg: cfg, height: 1, buf: make([]byte, pager.Disk().BlockSize())}
+	root := &node{kind: kindLeaf}
+	t.root = t.allocNode(root)
+	return t
+}
+
+func normalizeConfig(cfg *Config, blockSize int) {
+	max := MaxFanout(blockSize)
+	if cfg.Fanout <= 0 || cfg.Fanout > max {
+		cfg.Fanout = max
+	}
+	if cfg.Fanout < 2 {
+		panic("rtree: fanout must be at least 2")
+	}
+	if cfg.MinFill <= 0 {
+		cfg.MinFill = cfg.Fanout * 2 / 5
+	}
+	if cfg.MinFill > cfg.Fanout/2 {
+		cfg.MinFill = cfg.Fanout / 2
+	}
+	if cfg.MinFill < 1 {
+		cfg.MinFill = 1
+	}
+}
+
+// Pager exposes the tree's pager (read-only use by callers measuring I/O).
+func (t *Tree) Pager() *storage.Pager { return t.pager }
+
+// Config returns the tree's effective configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Root returns the root page id.
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.nItems }
+
+// Nodes returns the number of pages the tree occupies.
+func (t *Tree) Nodes() int { return t.nNodes }
+
+func (t *Tree) readNode(id storage.PageID) *node {
+	return decodeNode(t.pager.Read(id))
+}
+
+func (t *Tree) writeNode(id storage.PageID, n *node) {
+	t.pager.Write(id, encodeNode(t.buf, n))
+}
+
+func (t *Tree) allocNode(n *node) storage.PageID {
+	id := t.pager.Disk().Alloc()
+	t.writeNode(id, n)
+	t.nNodes++
+	return id
+}
+
+func (t *Tree) freeNode(id storage.PageID) {
+	t.pager.Invalidate(id)
+	t.pager.Disk().Free(id)
+	t.nNodes--
+}
+
+// QueryStats reports the work done by one window query.
+type QueryStats struct {
+	NodesVisited    int // total nodes touched, including the root
+	LeavesVisited   int
+	InternalVisited int
+	Results         int
+}
+
+// Query reports every stored item intersecting q to fn, in unspecified
+// order. fn returning false stops the query early. The returned stats count
+// node visits regardless of cache state; block-level I/O is tracked by the
+// disk underneath the pager.
+func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
+	var st QueryStats
+	t.query(t.root, q, fn, &st)
+	return st
+}
+
+// query returns false if fn aborted the traversal.
+func (t *Tree) query(id storage.PageID, q geom.Rect, fn func(geom.Item) bool, st *QueryStats) bool {
+	n := t.readNode(id)
+	st.NodesVisited++
+	if n.isLeaf() {
+		st.LeavesVisited++
+		for i := range n.rects {
+			if q.Intersects(n.rects[i]) {
+				st.Results++
+				if fn != nil && !fn(geom.Item{Rect: n.rects[i], ID: n.refs[i]}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	st.InternalVisited++
+	for i := range n.rects {
+		if q.Intersects(n.rects[i]) {
+			if !t.query(storage.PageID(n.refs[i]), q, fn, st) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// QueryCollect returns all items intersecting q.
+func (t *Tree) QueryCollect(q geom.Rect) []geom.Item {
+	var out []geom.Item
+	t.Query(q, func(it geom.Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// QueryCount returns only the query statistics, discarding results.
+func (t *Tree) QueryCount(q geom.Rect) QueryStats {
+	return t.Query(q, nil)
+}
+
+// Walk visits every node top-down, calling fn with the node's page, level
+// (0 = leaf level) and entries. Internal entries carry child page ids in
+// Item.ID. Walk is intended for inspection, validation and pinning.
+func (t *Tree) Walk(fn func(page storage.PageID, level int, isLeaf bool, entries []geom.Item)) {
+	t.walk(t.root, t.height-1, fn)
+}
+
+func (t *Tree) walk(id storage.PageID, level int, fn func(storage.PageID, int, bool, []geom.Item)) {
+	n := t.readNode(id)
+	fn(id, level, n.isLeaf(), n.items())
+	if !n.isLeaf() {
+		for _, ref := range n.refs {
+			t.walk(storage.PageID(ref), level-1, fn)
+		}
+	}
+}
+
+// Items returns every stored item by scanning the leaves.
+func (t *Tree) Items() []geom.Item {
+	out := make([]geom.Item, 0, t.nItems)
+	t.Walk(func(_ storage.PageID, _ int, isLeaf bool, entries []geom.Item) {
+		if isLeaf {
+			out = append(out, entries...)
+		}
+	})
+	return out
+}
+
+// PinInternal pins every internal node in the pager, reproducing the
+// paper's query setup where all internal nodes are cached (<= 6 MB) so a
+// query's disk reads are exactly the leaf blocks fetched. It returns the
+// number of pages pinned.
+func (t *Tree) PinInternal() int {
+	pinned := 0
+	t.Walk(func(page storage.PageID, _ int, isLeaf bool, _ []geom.Item) {
+		if !isLeaf {
+			t.pager.Pin(page)
+			pinned++
+		}
+	})
+	return pinned
+}
+
+// MBR returns the bounding box of the whole tree (invalid rect when empty).
+func (t *Tree) MBR() geom.Rect {
+	return t.readNode(t.root).mbr()
+}
+
+// Release frees every page of the tree back to the disk and invalidates
+// cached copies. The tree must not be used afterwards. Callers that
+// rebuild indexes (e.g. the logarithmic method) use this to reclaim space.
+func (t *Tree) Release() {
+	var pages []storage.PageID
+	t.Walk(func(page storage.PageID, _ int, _ bool, _ []geom.Item) {
+		pages = append(pages, page)
+	})
+	for _, p := range pages {
+		t.freeNode(p)
+	}
+	t.root = storage.NilPage
+	t.nItems = 0
+}
+
+// Utilization returns average node fill as a fraction of fanout, computed
+// separately for leaves and internal nodes. A freshly bulk-loaded tree
+// should report > 0.99 leaf utilization (paper §3.3).
+func (t *Tree) Utilization() (leaf, internal float64) {
+	var leafEntries, leafNodes, intEntries, intNodes int
+	t.Walk(func(_ storage.PageID, _ int, isLeaf bool, entries []geom.Item) {
+		if isLeaf {
+			leafEntries += len(entries)
+			leafNodes++
+		} else {
+			intEntries += len(entries)
+			intNodes++
+		}
+	})
+	if leafNodes > 0 {
+		leaf = float64(leafEntries) / float64(leafNodes*t.cfg.Fanout)
+	}
+	if intNodes > 0 {
+		internal = float64(intEntries) / float64(intNodes*t.cfg.Fanout)
+	}
+	return leaf, internal
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("rtree{items=%d nodes=%d height=%d fanout=%d}",
+		t.nItems, t.nNodes, t.height, t.cfg.Fanout)
+}

@@ -1,0 +1,325 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+func newTestTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	return New(storage.NewPager(disk, -1), cfg)
+}
+
+func randItems(n int, seed int64) []geom.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]geom.Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = geom.Item{
+			Rect: geom.NewRect(x, y, x+rng.Float64()*0.05, y+rng.Float64()*0.05),
+			ID:   uint32(i),
+		}
+	}
+	return items
+}
+
+// buildPacked bulk-loads items in slice order with full leaves — a trivial
+// loader used to exercise the container independently of the real loaders.
+func buildPacked(tb testing.TB, items []geom.Item, fanout int) *Tree {
+	tb.Helper()
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	b := NewBuilder(storage.NewPager(disk, -1), Config{Fanout: fanout})
+	fanout = b.Fanout()
+	var leaves []ChildEntry
+	for lo := 0; lo < len(items); lo += fanout {
+		hi := lo + fanout
+		if hi > len(items) {
+			hi = len(items)
+		}
+		leaves = append(leaves, b.WriteLeaf(items[lo:hi]))
+	}
+	return b.FinishPacked(leaves)
+}
+
+func TestMaxFanoutMatchesPaper(t *testing.T) {
+	if got := MaxFanout(storage.DefaultBlockSize); got != 113 {
+		t.Errorf("MaxFanout(4096) = %d, want 113", got)
+	}
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	n := &node{kind: kindInternal}
+	for i := 0; i < 50; i++ {
+		n.append(geom.NewRect(float64(i), 0, float64(i)+1, 2), uint32(i*7))
+	}
+	buf := make([]byte, storage.DefaultBlockSize)
+	got := decodeNode(encodeNode(buf, n))
+	if got.kind != n.kind || got.count() != n.count() {
+		t.Fatalf("kind/count mismatch")
+	}
+	for i := range n.rects {
+		if got.rects[i] != n.rects[i] || got.refs[i] != n.refs[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestNodeCodecFullFanout(t *testing.T) {
+	n := &node{kind: kindLeaf}
+	f := MaxFanout(storage.DefaultBlockSize)
+	for i := 0; i < f; i++ {
+		n.append(geom.NewRect(0, 0, 1, 1), uint32(i))
+	}
+	buf := make([]byte, storage.DefaultBlockSize)
+	if got := decodeNode(encodeNode(buf, n)); got.count() != f {
+		t.Fatalf("full node round trip count = %d", got.count())
+	}
+	n.append(geom.NewRect(0, 0, 1, 1), 999)
+	defer func() {
+		if recover() == nil {
+			t.Error("encoding an over-full node should panic")
+		}
+	}()
+	encodeNode(buf, n)
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Nodes() != 1 {
+		t.Errorf("empty tree: %v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+	st := tr.QueryCount(geom.NewRect(0, 0, 1, 1))
+	if st.Results != 0 || st.NodesVisited != 1 {
+		t.Errorf("empty query stats: %+v", st)
+	}
+}
+
+func TestPackedBuildAndQuery(t *testing.T) {
+	items := randItems(2000, 1)
+	tr := buildPacked(t, items, 16)
+	if tr.Len() != 2000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		q := geom.NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		if err := CheckQueryAgainstBruteForce(tr, items, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	items := randItems(500, 3)
+	tr := buildPacked(t, items, 8)
+	count := 0
+	tr.Query(geom.NewRect(0, 0, 1, 1), func(geom.Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d results", count)
+	}
+}
+
+func TestQueryStatsLeafAccounting(t *testing.T) {
+	items := randItems(1000, 4)
+	tr := buildPacked(t, items, 10)
+	st := tr.QueryCount(geom.NewRect(0, 0, 1.1, 1.1))
+	if st.Results != 1000 {
+		t.Errorf("full query results = %d", st.Results)
+	}
+	if st.LeavesVisited != 100 {
+		t.Errorf("full query should visit all 100 leaves, got %d", st.LeavesVisited)
+	}
+	if st.NodesVisited != st.LeavesVisited+st.InternalVisited {
+		t.Error("visit accounting inconsistent")
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	// fanout 4: 4^h leaves; 256 items over full leaves of 4 -> 64 leaves ->
+	// 16 -> 4 -> 1: height 4.
+	items := randItems(256, 5)
+	tr := buildPacked(t, items, 4)
+	if tr.Height() != 4 {
+		t.Errorf("height = %d, want 4", tr.Height())
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	items := randItems(5, 6)
+	tr := buildPacked(t, items, 16)
+	if tr.Height() != 1 {
+		t.Errorf("height = %d, want 1", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckQueryAgainstBruteForce(tr, items, geom.NewRect(0, 0, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsRoundTrip(t *testing.T) {
+	items := randItems(300, 7)
+	tr := buildPacked(t, items, 9)
+	got := tr.Items()
+	if len(got) != len(items) {
+		t.Fatalf("Items len = %d", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestUtilizationPacked(t *testing.T) {
+	items := randItems(113*10, 8)
+	tr := buildPacked(t, items, 0) // default fanout 113
+	leaf, _ := tr.Utilization()
+	if leaf < 0.99 {
+		t.Errorf("packed leaf utilization = %.3f, want > 0.99", leaf)
+	}
+}
+
+func TestPinInternalMakesQueriesLeafOnly(t *testing.T) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	pager := storage.NewPager(disk, 0) // no LRU: only pins persist
+	b := NewBuilder(pager, Config{Fanout: 8})
+	items := randItems(512, 9)
+	var leaves []ChildEntry
+	for lo := 0; lo < len(items); lo += 8 {
+		leaves = append(leaves, b.WriteLeaf(items[lo:lo+8]))
+	}
+	tr := b.FinishPacked(leaves)
+	pinned := tr.PinInternal()
+	if pinned == 0 {
+		t.Fatal("expected internal nodes to pin")
+	}
+	disk.ResetStats()
+	st := tr.QueryCount(geom.NewRect(0.2, 0.2, 0.4, 0.4))
+	reads := disk.Stats().Reads
+	if int(reads) != st.LeavesVisited {
+		t.Errorf("disk reads %d != leaves visited %d with pinned internals", reads, st.LeavesVisited)
+	}
+}
+
+func TestWalkLevels(t *testing.T) {
+	items := randItems(256, 10)
+	tr := buildPacked(t, items, 4)
+	levelKind := map[int]bool{}
+	tr.Walk(func(_ storage.PageID, level int, isLeaf bool, _ []geom.Item) {
+		if isLeaf != (level == 0) {
+			t.Fatalf("leaf flag mismatch at level %d", level)
+		}
+		levelKind[level] = true
+	})
+	for l := 0; l < tr.Height(); l++ {
+		if !levelKind[l] {
+			t.Errorf("no node seen at level %d", l)
+		}
+	}
+}
+
+func TestValidateDetectsBadMBR(t *testing.T) {
+	items := randItems(100, 11)
+	tr := buildPacked(t, items, 8)
+	// Corrupt the root: shrink its first entry's rect.
+	n := tr.readNode(tr.root)
+	if n.isLeaf() {
+		t.Skip("tree too small")
+	}
+	n.rects[0] = geom.PointRect(0, 0)
+	tr.writeNode(tr.root, n)
+	if err := tr.Validate(); err == nil {
+		t.Error("validate should detect corrupted MBR")
+	}
+}
+
+func TestBuilderRejectsBadCounts(t *testing.T) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	b := NewBuilder(storage.NewPager(disk, -1), Config{Fanout: 4})
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized leaf should panic")
+		}
+	}()
+	b.WriteLeaf(randItems(5, 12))
+}
+
+func TestBuilderPackLevelBalances(t *testing.T) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	b := NewBuilder(storage.NewPager(disk, -1), Config{Fanout: 4})
+	items := randItems(4*5, 13)
+	var leaves []ChildEntry
+	for lo := 0; lo < len(items); lo += 4 {
+		leaves = append(leaves, b.WriteLeaf(items[lo:lo+4]))
+	}
+	// 5 leaves with fanout 4 -> 2 groups of 3+2, not 4+1.
+	packed := b.PackLevel(leaves)
+	if len(packed) != 2 {
+		t.Fatalf("groups = %d", len(packed))
+	}
+	tr := b.Finish(b.WriteInternal(packed), 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := tr.readNode(packed[0].Page)
+	if n.count() != 3 && n.count() != 2 {
+		t.Errorf("unbalanced group of %d", n.count())
+	}
+}
+
+func TestFinishEmpty(t *testing.T) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	b := NewBuilder(storage.NewPager(disk, -1), Config{})
+	tr := b.FinishPacked(nil)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty packed tree: %v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryIOEqualsNodesWithoutCache(t *testing.T) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	pager := storage.NewPager(disk, 0)
+	b := NewBuilder(pager, Config{Fanout: 8})
+	items := randItems(512, 14)
+	var leaves []ChildEntry
+	for lo := 0; lo < len(items); lo += 8 {
+		leaves = append(leaves, b.WriteLeaf(items[lo:lo+8]))
+	}
+	tr := b.FinishPacked(leaves)
+	disk.ResetStats()
+	st := tr.QueryCount(geom.NewRect(0.1, 0.1, 0.3, 0.3))
+	if got := disk.Stats().Reads; int(got) != st.NodesVisited {
+		t.Errorf("uncached reads %d != nodes visited %d", got, st.NodesVisited)
+	}
+}
+
+func TestTreeMBRCoversAll(t *testing.T) {
+	items := randItems(200, 15)
+	tr := buildPacked(t, items, 8)
+	m := tr.MBR()
+	for _, it := range items {
+		if !m.Contains(it.Rect) {
+			t.Fatalf("tree MBR %v misses %v", m, it.Rect)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package rtree
+
+import (
+	"fmt"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found, or nil. It verifies:
+//
+//   - every leaf sits at level 0 (uniform depth, the defining R-tree shape);
+//   - every internal entry's rectangle equals the exact MBR of its child;
+//   - node counts are within [1, fanout] (the root leaf may be empty);
+//   - the recorded item and node counts match the actual tree;
+//   - no page is referenced twice.
+func (t *Tree) Validate() error {
+	seen := make(map[storage.PageID]bool)
+	items, nodes, err := t.validate(t.root, t.height-1, seen)
+	if err != nil {
+		return err
+	}
+	if items != t.nItems {
+		return fmt.Errorf("rtree: item count %d, tree reports %d", items, t.nItems)
+	}
+	if nodes != t.nNodes {
+		return fmt.Errorf("rtree: node count %d, tree reports %d", nodes, t.nNodes)
+	}
+	return nil
+}
+
+func (t *Tree) validate(id storage.PageID, level int, seen map[storage.PageID]bool) (items, nodes int, err error) {
+	if seen[id] {
+		return 0, 0, fmt.Errorf("rtree: page %d referenced twice", id)
+	}
+	seen[id] = true
+	n := t.readNode(id)
+	if n.count() > t.cfg.Fanout {
+		return 0, 0, fmt.Errorf("rtree: page %d holds %d entries, fanout %d", id, n.count(), t.cfg.Fanout)
+	}
+	if n.isLeaf() {
+		if level != 0 {
+			return 0, 0, fmt.Errorf("rtree: leaf %d at level %d", id, level)
+		}
+		if n.count() == 0 && id != t.root {
+			return 0, 0, fmt.Errorf("rtree: non-root leaf %d is empty", id)
+		}
+		return n.count(), 1, nil
+	}
+	if level == 0 {
+		return 0, 0, fmt.Errorf("rtree: internal node %d at leaf level", id)
+	}
+	if n.count() == 0 {
+		return 0, 0, fmt.Errorf("rtree: internal node %d is empty", id)
+	}
+	nodes = 1
+	for i := range n.rects {
+		child := storage.PageID(n.refs[i])
+		cn := t.readNode(child)
+		if got := cn.mbr(); got != n.rects[i] {
+			return 0, 0, fmt.Errorf("rtree: node %d entry %d rect %v != child MBR %v", id, i, n.rects[i], got)
+		}
+		ci, cnodes, err := t.validate(child, level-1, seen)
+		if err != nil {
+			return 0, 0, err
+		}
+		items += ci
+		nodes += cnodes
+	}
+	return items, nodes, nil
+}
+
+// CheckQueryAgainstBruteForce compares the tree's window-query output with
+// a brute-force scan over universe and returns an error describing the
+// first discrepancy. It is a test helper shared by all loader test suites.
+func CheckQueryAgainstBruteForce(t *Tree, universe []geom.Item, q geom.Rect) error {
+	want := make(map[uint32]geom.Rect)
+	for _, it := range universe {
+		if q.Intersects(it.Rect) {
+			want[it.ID] = it.Rect
+		}
+	}
+	got := make(map[uint32]geom.Rect)
+	t.Query(q, func(it geom.Item) bool {
+		if _, dup := got[it.ID]; dup {
+			// Duplicate report: flag via sentinel entry.
+			got[^uint32(0)] = it.Rect
+		}
+		got[it.ID] = it.Rect
+		return true
+	})
+	if len(got) != len(want) {
+		return fmt.Errorf("query %v: got %d results, want %d", q, len(got), len(want))
+	}
+	for id, r := range want {
+		gr, ok := got[id]
+		if !ok {
+			return fmt.Errorf("query %v: missing item %d (%v)", q, id, r)
+		}
+		if gr != r {
+			return fmt.Errorf("query %v: item %d rect %v, want %v", q, id, gr, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package storage
+
+import "container/list"
+
+// Pager mediates page reads through an LRU cache with a pin set. It models
+// the paper's query-time buffer: all internal R-tree nodes are pinned so
+// the reported query cost is the number of leaf blocks fetched.
+//
+// The cache is read-only: writers go directly to the Disk. Writing through
+// the pager invalidates the cached copy.
+type Pager struct {
+	disk     *Disk
+	capacity int // max unpinned cached pages; <0 means unbounded
+	lru      *list.List
+	entries  map[PageID]*list.Element
+	pinned   map[PageID][]byte
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	id   PageID
+	data []byte
+}
+
+// NewPager returns a pager over disk whose LRU holds at most capacity
+// unpinned pages. capacity 0 disables unpinned caching entirely;
+// a negative capacity means "unbounded".
+func NewPager(disk *Disk, capacity int) *Pager {
+	return &Pager{
+		disk:     disk,
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[PageID]*list.Element),
+		pinned:   make(map[PageID][]byte),
+	}
+}
+
+// Disk returns the underlying device.
+func (p *Pager) Disk() *Disk { return p.disk }
+
+// Read returns the contents of page id, fetching from disk (and counting
+// one block read) only on a cache miss. The returned slice is shared with
+// the cache and must be treated as read-only.
+func (p *Pager) Read(id PageID) []byte {
+	if data, ok := p.pinned[id]; ok {
+		p.hits++
+		return data
+	}
+	if el, ok := p.entries[id]; ok {
+		p.hits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).data
+	}
+	p.misses++
+	data := make([]byte, p.disk.BlockSize())
+	p.disk.Read(id, data)
+	if p.capacity != 0 {
+		el := p.lru.PushFront(&cacheEntry{id: id, data: data})
+		p.entries[id] = el
+		p.evict()
+	}
+	return data
+}
+
+// Pin loads page id (counting a read if absent from the cache) and keeps it
+// resident until Unpin. Pinned pages never count as query I/O after the pin.
+func (p *Pager) Pin(id PageID) {
+	if _, ok := p.pinned[id]; ok {
+		return
+	}
+	if el, ok := p.entries[id]; ok {
+		ce := el.Value.(*cacheEntry)
+		p.lru.Remove(el)
+		delete(p.entries, id)
+		p.pinned[id] = ce.data
+		return
+	}
+	data := make([]byte, p.disk.BlockSize())
+	p.disk.Read(id, data)
+	p.pinned[id] = data
+}
+
+// Unpin releases a pinned page. It is a no-op for unpinned pages.
+func (p *Pager) Unpin(id PageID) {
+	delete(p.pinned, id)
+}
+
+// Write stores data to page id on disk and refreshes any cached copy.
+func (p *Pager) Write(id PageID, data []byte) {
+	p.disk.Write(id, data)
+	if pd, ok := p.pinned[id]; ok {
+		copy(pd, data)
+		for i := len(data); i < len(pd); i++ {
+			pd[i] = 0
+		}
+		return
+	}
+	if el, ok := p.entries[id]; ok {
+		cd := el.Value.(*cacheEntry).data
+		copy(cd, data)
+		for i := len(data); i < len(cd); i++ {
+			cd[i] = 0
+		}
+	}
+}
+
+// Invalidate drops any cached copy of page id without touching the disk.
+func (p *Pager) Invalidate(id PageID) {
+	delete(p.pinned, id)
+	if el, ok := p.entries[id]; ok {
+		p.lru.Remove(el)
+		delete(p.entries, id)
+	}
+}
+
+// DropCache empties both the LRU and the pin set.
+func (p *Pager) DropCache() {
+	p.lru.Init()
+	p.entries = make(map[PageID]*list.Element)
+	p.pinned = make(map[PageID][]byte)
+}
+
+// HitRate returns cache hits and misses since construction.
+func (p *Pager) HitRate() (hits, misses uint64) { return p.hits, p.misses }
+
+// CachedPages returns the number of resident pages (pinned + LRU).
+func (p *Pager) CachedPages() int { return len(p.pinned) + p.lru.Len() }
+
+func (p *Pager) evict() {
+	if p.capacity < 0 {
+		return
+	}
+	for p.lru.Len() > p.capacity {
+		el := p.lru.Back()
+		ce := el.Value.(*cacheEntry)
+		p.lru.Remove(el)
+		delete(p.entries, ce.id)
+	}
+}

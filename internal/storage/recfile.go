@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"prtree/internal/geom"
+)
+
+// ItemSize is the on-disk footprint of one rectangle record: four float64
+// coordinates plus a 4-byte object pointer — the paper's 36-byte layout.
+const ItemSize = 36
+
+// ItemsPerBlock returns how many records fit in one block of the given size
+// (113 for the default 4 KB block, matching the paper's fanout).
+func ItemsPerBlock(blockSize int) int { return blockSize / ItemSize }
+
+// EncodeItem serializes it into buf, which must hold ItemSize bytes.
+func EncodeItem(buf []byte, it geom.Item) {
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(it.Rect.MinX))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(it.Rect.MinY))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(it.Rect.MaxX))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(it.Rect.MaxY))
+	binary.LittleEndian.PutUint32(buf[32:], it.ID)
+}
+
+// DecodeItem deserializes a record written by EncodeItem.
+func DecodeItem(buf []byte) geom.Item {
+	return geom.Item{
+		Rect: geom.Rect{
+			MinX: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+			MinY: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+			MaxX: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+			MaxY: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+		},
+		ID: binary.LittleEndian.Uint32(buf[32:]),
+	}
+}
+
+// ItemFile is a sequential file of Items stored in whole blocks on a Disk —
+// the TPIE "stream" the paper's bulk-loading algorithms operate on. Appends
+// buffer one block in memory and spill to disk when full; reads scan block
+// by block. All spills and scans count block I/O on the underlying Disk.
+type ItemFile struct {
+	disk     *Disk
+	perBlock int
+	pages    []PageID
+	n        int    // total records, including those in wbuf
+	wbuf     []byte // current partially filled block
+	wcount   int    // records in wbuf
+	sealed   bool
+}
+
+// NewItemFile returns an empty item file on disk.
+func NewItemFile(disk *Disk) *ItemFile {
+	return &ItemFile{
+		disk:     disk,
+		perBlock: ItemsPerBlock(disk.BlockSize()),
+		wbuf:     make([]byte, disk.BlockSize()),
+	}
+}
+
+// NewItemFileFrom builds a sealed item file holding the given items,
+// counting the block writes needed to store them.
+func NewItemFileFrom(disk *Disk, items []geom.Item) *ItemFile {
+	f := NewItemFile(disk)
+	for _, it := range items {
+		f.Append(it)
+	}
+	f.Seal()
+	return f
+}
+
+// Len returns the number of records in the file.
+func (f *ItemFile) Len() int { return f.n }
+
+// Blocks returns the number of disk blocks the file occupies once sealed.
+func (f *ItemFile) Blocks() int {
+	b := len(f.pages)
+	if !f.sealed && f.wcount > 0 {
+		b++
+	}
+	return b
+}
+
+// Append adds a record to the end of the file. It panics after Seal.
+func (f *ItemFile) Append(it geom.Item) {
+	if f.sealed {
+		panic("storage: append to sealed ItemFile")
+	}
+	EncodeItem(f.wbuf[f.wcount*ItemSize:], it)
+	f.wcount++
+	f.n++
+	if f.wcount == f.perBlock {
+		f.flush()
+	}
+}
+
+// Seal flushes the final partial block and freezes the file for reading.
+// Sealing an already sealed file is a no-op.
+func (f *ItemFile) Seal() {
+	if f.sealed {
+		return
+	}
+	if f.wcount > 0 {
+		f.flush()
+	}
+	f.sealed = true
+}
+
+func (f *ItemFile) flush() {
+	id := f.disk.Alloc()
+	f.disk.Write(id, f.wbuf[:f.wcount*ItemSize])
+	f.pages = append(f.pages, id)
+	f.wcount = 0
+}
+
+// Free releases the file's pages back to the disk.
+func (f *ItemFile) Free() {
+	f.Seal()
+	for _, id := range f.pages {
+		f.disk.Free(id)
+	}
+	f.pages = nil
+	f.n = 0
+}
+
+// Reader returns a sequential scanner positioned at the start of the file.
+// The file must be sealed.
+func (f *ItemFile) Reader() *ItemReader {
+	if !f.sealed {
+		panic("storage: Reader on unsealed ItemFile")
+	}
+	return &ItemReader{f: f, block: -1}
+}
+
+// ReaderAt returns a scanner positioned at record index start.
+func (f *ItemFile) ReaderAt(start int) *ItemReader {
+	r := f.Reader()
+	r.Seek(start)
+	return r
+}
+
+// ItemReader scans an ItemFile block by block, counting one disk read per
+// block fetched.
+type ItemReader struct {
+	f     *ItemFile
+	buf   []byte
+	block int // index into f.pages of the buffered block, -1 if none
+	pos   int // next record index (global)
+}
+
+// Next returns the next record. ok is false at end of file.
+func (r *ItemReader) Next() (it geom.Item, ok bool) {
+	if r.pos >= r.f.n {
+		return geom.Item{}, false
+	}
+	b := r.pos / r.f.perBlock
+	if b != r.block {
+		// Zero-copy view of the page: valid because file pages are
+		// immutable once sealed and readers do not outlive Free.
+		r.buf = r.f.disk.ReadNoCopy(r.f.pages[b])
+		r.block = b
+	}
+	off := (r.pos % r.f.perBlock) * ItemSize
+	r.pos++
+	return DecodeItem(r.buf[off:]), true
+}
+
+// Seek positions the reader at global record index pos. The block holding
+// pos is fetched lazily by the next call to Next.
+func (r *ItemReader) Seek(pos int) {
+	if pos < 0 || pos > r.f.n {
+		panic(fmt.Sprintf("storage: seek %d out of range [0,%d]", pos, r.f.n))
+	}
+	r.pos = pos
+	r.block = -1
+}
+
+// Pos returns the index of the next record to be returned.
+func (r *ItemReader) Pos() int { return r.pos }
+
+// ReadAll drains a sealed file into a slice, counting the scan's reads.
+func (f *ItemFile) ReadAll() []geom.Item {
+	out := make([]geom.Item, 0, f.n)
+	r := f.Reader()
+	for {
+		it, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, it)
+	}
+}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prtree/internal/geom"
+)
+
+func TestItemCodecRoundTrip(t *testing.T) {
+	it := geom.Item{Rect: geom.NewRect(1.5, -2.25, 3.75, 4.125), ID: 0xdeadbeef}
+	buf := make([]byte, ItemSize)
+	EncodeItem(buf, it)
+	got := DecodeItem(buf)
+	if got != it {
+		t.Errorf("round trip = %+v, want %+v", got, it)
+	}
+}
+
+func TestItemCodecQuick(t *testing.T) {
+	prop := func(a, b, c, d float64, id uint32) bool {
+		it := geom.Item{Rect: geom.Rect{MinX: a, MinY: b, MaxX: c, MaxY: d}, ID: id}
+		buf := make([]byte, ItemSize)
+		EncodeItem(buf, it)
+		got := DecodeItem(buf)
+		// NaN != NaN, so compare bit patterns via re-encoding.
+		buf2 := make([]byte, ItemSize)
+		EncodeItem(buf2, got)
+		for i := range buf {
+			if buf[i] != buf2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemsPerBlock(t *testing.T) {
+	if got := ItemsPerBlock(DefaultBlockSize); got != 113 {
+		t.Errorf("ItemsPerBlock(4096) = %d, want 113 (paper's fanout)", got)
+	}
+}
+
+func randItems(n int, seed int64) []geom.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]geom.Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = geom.Item{
+			Rect: geom.NewRect(x, y, x+rng.Float64()*0.01, y+rng.Float64()*0.01),
+			ID:   uint32(i),
+		}
+	}
+	return items
+}
+
+func TestItemFileRoundTrip(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	items := randItems(1000, 1)
+	f := NewItemFileFrom(d, items)
+	if f.Len() != 1000 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	got := f.ReadAll()
+	if len(got) != len(items) {
+		t.Fatalf("read %d items", len(got))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d mismatch: %+v vs %+v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestItemFileBlockCount(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	per := ItemsPerBlock(DefaultBlockSize)
+	f := NewItemFileFrom(d, randItems(per*3+1, 2))
+	if f.Blocks() != 4 {
+		t.Errorf("blocks = %d, want 4", f.Blocks())
+	}
+}
+
+func TestItemFileIOAccounting(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	per := ItemsPerBlock(DefaultBlockSize)
+	n := per * 5
+	d.ResetStats()
+	f := NewItemFileFrom(d, randItems(n, 3))
+	if w := d.Stats().Writes; w != 5 {
+		t.Errorf("writing %d items should cost 5 block writes, got %d", n, w)
+	}
+	d.ResetStats()
+	_ = f.ReadAll()
+	if r := d.Stats().Reads; r != 5 {
+		t.Errorf("scanning should cost 5 block reads, got %d", r)
+	}
+}
+
+func TestItemFileSealSemantics(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	f := NewItemFile(d)
+	f.Append(geom.Item{Rect: geom.NewRect(0, 0, 1, 1), ID: 1})
+	f.Seal()
+	f.Seal() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("append after seal should panic")
+		}
+	}()
+	f.Append(geom.Item{})
+}
+
+func TestItemFileReaderUnsealedPanics(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	f := NewItemFile(d)
+	defer func() {
+		if recover() == nil {
+			t.Error("Reader on unsealed file should panic")
+		}
+	}()
+	_ = f.Reader()
+}
+
+func TestItemReaderSeek(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	items := randItems(500, 4)
+	f := NewItemFileFrom(d, items)
+	r := f.ReaderAt(250)
+	it, ok := r.Next()
+	if !ok || it != items[250] {
+		t.Errorf("seek read = %+v", it)
+	}
+	if r.Pos() != 251 {
+		t.Errorf("pos = %d", r.Pos())
+	}
+	r.Seek(0)
+	it, _ = r.Next()
+	if it != items[0] {
+		t.Error("seek back to 0 failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range seek should panic")
+		}
+	}()
+	r.Seek(501)
+}
+
+func TestItemFileFree(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	f := NewItemFileFrom(d, randItems(300, 5))
+	used := d.PagesInUse()
+	f.Free()
+	if d.PagesInUse() != used-3 {
+		t.Errorf("free did not release pages: %d in use", d.PagesInUse())
+	}
+	if f.Len() != 0 {
+		t.Errorf("freed file len = %d", f.Len())
+	}
+}
+
+func TestItemFileEmpty(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	f := NewItemFileFrom(d, nil)
+	if f.Len() != 0 || f.Blocks() != 0 {
+		t.Errorf("empty file: len=%d blocks=%d", f.Len(), f.Blocks())
+	}
+	if got := f.ReadAll(); len(got) != 0 {
+		t.Errorf("empty read = %v", got)
+	}
+}
+
+func TestItemFilePartialBlock(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	items := randItems(7, 6)
+	f := NewItemFileFrom(d, items)
+	got := f.ReadAll()
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("partial-block item %d mismatch", i)
+		}
+	}
+}

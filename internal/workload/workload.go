@@ -1,0 +1,62 @@
+// Package workload generates the window-query workloads of the paper's
+// Section 3.3: square queries covering a fixed fraction of the data
+// bounding box, squares skewed along with a skewed(c) dataset, and the
+// long skinny line probes used on the cluster and worst-case datasets.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"prtree/internal/geom"
+)
+
+// Squares returns count square queries of area areaFrac*Area(world) whose
+// positions are uniform with the square fully inside world.
+func Squares(world geom.Rect, areaFrac float64, count int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(areaFrac * world.Area())
+	if side > world.Width() {
+		side = world.Width()
+	}
+	if side > world.Height() {
+		side = world.Height()
+	}
+	out := make([]geom.Rect, count)
+	for i := range out {
+		x := world.MinX + rng.Float64()*(world.Width()-side)
+		y := world.MinY + rng.Float64()*(world.Height()-side)
+		out[i] = geom.NewRect(x, y, x+side, y+side)
+	}
+	return out
+}
+
+// SkewedSquares returns squares of area areaFrac on the unit square,
+// transformed like the skewed(c) dataset: each corner (x, y) becomes
+// (x, y^c), so the output size stays roughly constant (Figure 15, right).
+func SkewedSquares(areaFrac float64, c, count int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(areaFrac)
+	out := make([]geom.Rect, count)
+	for i := range out {
+		x := rng.Float64() * (1 - side)
+		y := rng.Float64() * (1 - side)
+		out[i] = geom.NewRect(
+			x, math.Pow(y, float64(c)),
+			x+side, math.Pow(y+side, float64(c)),
+		)
+	}
+	return out
+}
+
+// HorizontalLines returns thin horizontal probes of the given height with
+// random vertical positions inside world, spanning its full width.
+func HorizontalLines(world geom.Rect, height float64, count int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, count)
+	for i := range out {
+		y := world.MinY + rng.Float64()*(world.Height()-height)
+		out[i] = geom.NewRect(world.MinX, y, world.MaxX, y+height)
+	}
+	return out
+}

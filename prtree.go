@@ -1,0 +1,276 @@
+// Package prtree is a Go implementation of the Priority R-tree of Arge,
+// de Berg, Haverkort and Yi (SIGMOD 2004) — the first R-tree variant whose
+// window queries are worst-case optimal: O(sqrt(N/B) + T/B) block reads
+// for N rectangles, block capacity B and output size T.
+//
+// The package bulk-loads PR-trees (and, for comparison, the packed Hilbert,
+// four-dimensional Hilbert, STR and Top-down Greedy Split R-trees the
+// paper benchmarks) onto a simulated block disk that counts every 4 KB
+// block transfer, supports the classic heuristic updates (Guttman and
+// R*-tree) on any loaded tree, answers point, containment and k-nearest-
+// neighbor queries besides window queries, persists indexes to files, and
+// offers a logarithmic-method dynamic index that keeps the optimal query
+// bound under insertions and deletions.
+//
+// Quick start:
+//
+//	items := []prtree.Item{
+//		{Rect: prtree.NewRect(0, 0, 1, 1), ID: 1},
+//		{Rect: prtree.NewRect(2, 2, 3, 3), ID: 2},
+//	}
+//	tree := prtree.Bulk(items, nil)
+//	hits := tree.Search(prtree.NewRect(0.5, 0.5, 2.5, 2.5))
+package prtree
+
+import (
+	"io"
+
+	"prtree/internal/bulk"
+	"prtree/internal/geom"
+	"prtree/internal/logmethod"
+	"prtree/internal/rtree"
+	"prtree/internal/storage"
+)
+
+// Rect is an axis-parallel rectangle, closed on all sides.
+type Rect = geom.Rect
+
+// Item is a rectangle tagged with the caller's object identifier. IDs must
+// be unique when using Delete or the Dynamic index.
+type Item = geom.Item
+
+// QueryStats reports the node visits of one window query.
+type QueryStats = rtree.QueryStats
+
+// IOStats counts block reads and writes on the simulated disk.
+type IOStats = storage.Stats
+
+// NewRect builds a rectangle from two corners in any order.
+func NewRect(x1, y1, x2, y2 float64) Rect { return geom.NewRect(x1, y1, x2, y2) }
+
+// Loader selects a bulk-loading algorithm.
+type Loader = bulk.Loader
+
+// Bulk-loading algorithms: the paper's comparison set plus STR.
+const (
+	PR        = bulk.LoaderPR
+	Hilbert   = bulk.LoaderHilbert
+	Hilbert4D = bulk.LoaderHilbert4D
+	STR       = bulk.LoaderSTR
+	TGS       = bulk.LoaderTGS
+)
+
+// UpdateHeuristic selects the dynamic-update algorithm applied by
+// Tree.Insert/Delete. Per the paper (§1.2, §4), heuristic updates do not
+// preserve the PR-tree's worst-case query bound — see Dynamic for that.
+type UpdateHeuristic = rtree.SplitKind
+
+// Update heuristics.
+const (
+	// GuttmanQuadratic is Guttman's insertion with the quadratic split.
+	GuttmanQuadratic = rtree.QuadraticSplit
+	// GuttmanLinear is Guttman's insertion with the linear split.
+	GuttmanLinear = rtree.LinearSplit
+	// RStar applies the R*-tree heuristics of Beckmann et al.: overlap-
+	// minimizing ChooseSubtree, forced reinsertion and margin-based split.
+	RStar = rtree.RStarSplit
+)
+
+// Options tunes a tree. The zero value (or nil) reproduces the paper's
+// setup: 4 KB blocks, 36-byte entries, fanout 113.
+type Options struct {
+	// BlockSize is the simulated disk block size in bytes (default 4096).
+	BlockSize int
+	// Fanout caps entries per node (default: block-size maximum, 113).
+	Fanout int
+	// MemoryItems is the bulk-loading memory budget M in records
+	// (default 65536).
+	MemoryItems int
+	// CacheCapacity bounds the page cache in pages; negative means
+	// unbounded (the default), 0 disables caching entirely.
+	CacheCapacity int
+	// Update selects the dynamic-update heuristic for Insert/Delete
+	// (default GuttmanQuadratic).
+	Update UpdateHeuristic
+}
+
+func (o *Options) normalized() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.BlockSize <= 0 {
+		out.BlockSize = storage.DefaultBlockSize
+	}
+	if out.CacheCapacity == 0 && (o == nil || o.CacheCapacity == 0) {
+		out.CacheCapacity = -1
+	}
+	return out
+}
+
+// Tree is a bulk-loaded R-tree on its own simulated disk.
+type Tree struct {
+	inner *rtree.Tree
+	disk  *storage.Disk
+}
+
+// Bulk builds a PR-tree over items. opts may be nil for defaults.
+func Bulk(items []Item, opts *Options) *Tree {
+	return BulkWith(PR, items, opts)
+}
+
+// BulkWith builds a tree with the chosen loader. opts may be nil.
+func BulkWith(l Loader, items []Item, opts *Options) *Tree {
+	o := opts.normalized()
+	disk := storage.NewDisk(o.BlockSize)
+	pager := storage.NewPager(disk, o.CacheCapacity)
+	tr := bulk.FromItems(l, pager, items, bulk.Options{
+		Fanout:      o.Fanout,
+		MemoryItems: o.MemoryItems,
+		Split:       o.Update,
+	})
+	return &Tree{inner: tr, disk: disk}
+}
+
+// Query reports every stored item intersecting q to fn (return false to
+// stop early) and returns visit statistics.
+func (t *Tree) Query(q Rect, fn func(Item) bool) QueryStats {
+	return t.inner.Query(q, fn)
+}
+
+// Search returns all items intersecting q.
+func (t *Tree) Search(q Rect) []Item { return t.inner.QueryCollect(q) }
+
+// SearchPoint returns all items containing the point (x, y).
+func (t *Tree) SearchPoint(x, y float64) []Item {
+	var out []Item
+	t.inner.PointQuery(x, y, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// SearchContained returns all items fully contained in q.
+func (t *Tree) SearchContained(q Rect) []Item {
+	var out []Item
+	t.inner.ContainmentQuery(q, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Neighbor is one nearest-neighbor result with its squared distance.
+type Neighbor = rtree.Neighbor
+
+// NearestNeighbors returns the k items closest to (x, y) in ascending
+// distance order (best-first search).
+func (t *Tree) NearestNeighbors(x, y float64, k int) []Neighbor {
+	out, _ := t.inner.NearestNeighbors(x, y, k)
+	return out
+}
+
+// Insert adds an item with Guttman's dynamic insertion. Note the paper's
+// caveat: updates do not maintain the PR-tree's worst-case query
+// guarantee; use Dynamic for guaranteed bounds under updates.
+func (t *Tree) Insert(it Item) { t.inner.Insert(it) }
+
+// Delete removes the item with matching rect and id, reporting success.
+func (t *Tree) Delete(it Item) bool { return t.inner.Delete(it) }
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.inner.Len() }
+
+// Height returns the number of tree levels.
+func (t *Tree) Height() int { return t.inner.Height() }
+
+// Nodes returns the number of disk pages the tree occupies.
+func (t *Tree) Nodes() int { return t.inner.Nodes() }
+
+// MBR returns the bounding box of all stored items.
+func (t *Tree) MBR() Rect { return t.inner.MBR() }
+
+// Utilization returns the average leaf and internal node fill fractions.
+func (t *Tree) Utilization() (leaf, internal float64) { return t.inner.Utilization() }
+
+// IOStats returns cumulative block reads/writes on the tree's disk.
+func (t *Tree) IOStats() IOStats { return t.disk.Stats() }
+
+// ResetIOStats zeroes the disk counters (e.g. before measuring a query).
+func (t *Tree) ResetIOStats() { t.disk.ResetStats() }
+
+// PinInternal pins every internal node in the page cache, reproducing the
+// paper's measurement setup where query I/O equals leaf blocks fetched.
+// It returns the number of pinned pages.
+func (t *Tree) PinInternal() int { return t.inner.PinInternal() }
+
+// Validate checks the structural invariants (mainly for tests and tools).
+func (t *Tree) Validate() error { return t.inner.Validate() }
+
+// Items returns every stored item by scanning the leaves.
+func (t *Tree) Items() []Item { return t.inner.Items() }
+
+// Save serializes the tree (pages and metadata) to w; reopen it with Load.
+func (t *Tree) Save(w io.Writer) error { return t.inner.Save(w) }
+
+// Load reads a tree written by Save. opts controls the cache of the
+// reopened tree; loader-time options are ignored (the tree is already
+// built).
+func Load(r io.Reader, opts *Options) (*Tree, error) {
+	o := opts.normalized()
+	inner, err := rtree.Load(r, o.CacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{inner: inner, disk: inner.Pager().Disk()}, nil
+}
+
+// Dynamic is a fully dynamic spatial index with the PR-tree query bound,
+// built on the external logarithmic method the paper proposes for updates
+// (Sections 1.2 and 4).
+type Dynamic struct {
+	inner *logmethod.Tree
+	disk  *storage.Disk
+}
+
+// DynamicStats mirrors logmethod query statistics.
+type DynamicStats = logmethod.QueryStats
+
+// NewDynamic creates an empty dynamic index. opts may be nil.
+func NewDynamic(opts *Options) *Dynamic {
+	o := opts.normalized()
+	disk := storage.NewDisk(o.BlockSize)
+	pager := storage.NewPager(disk, o.CacheCapacity)
+	inner := logmethod.New(pager, bulk.Options{
+		Fanout:      o.Fanout,
+		MemoryItems: o.MemoryItems,
+	}, 0)
+	return &Dynamic{inner: inner, disk: disk}
+}
+
+// Insert adds an item (amortized O((log_{M/B} N)(log2 N)/B) block I/Os).
+func (d *Dynamic) Insert(it Item) { d.inner.Insert(it) }
+
+// Delete removes an item by (rect, id), reporting success.
+func (d *Dynamic) Delete(it Item) bool { return d.inner.Delete(it) }
+
+// Query reports every live item intersecting q.
+func (d *Dynamic) Query(q Rect, fn func(Item) bool) DynamicStats {
+	return d.inner.Query(q, fn)
+}
+
+// Search returns all live items intersecting q.
+func (d *Dynamic) Search(q Rect) []Item { return d.inner.QueryCollect(q) }
+
+// Len returns the number of live items.
+func (d *Dynamic) Len() int { return d.inner.Len() }
+
+// Flush compacts the structure into a single static PR-tree.
+func (d *Dynamic) Flush() { d.inner.Flush() }
+
+// IOStats returns cumulative block reads/writes on the index's disk.
+func (d *Dynamic) IOStats() IOStats { return d.disk.Stats() }
+
+// ResetIOStats zeroes the disk counters.
+func (d *Dynamic) ResetIOStats() { d.disk.ResetStats() }

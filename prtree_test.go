@@ -1,0 +1,282 @@
+package prtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = Item{Rect: NewRect(x, y, x+rng.Float64()*0.02, y+rng.Float64()*0.02), ID: uint32(i)}
+	}
+	return items
+}
+
+func TestBulkAndSearch(t *testing.T) {
+	items := randItems(5000, 1)
+	tree := Bulk(items, nil)
+	if tree.Len() != 5000 {
+		t.Fatalf("len = %d", tree.Len())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 25; i++ {
+		q := NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		want := 0
+		for _, it := range items {
+			if q.Intersects(it.Rect) {
+				want++
+			}
+		}
+		if got := tree.Search(q); len(got) != want {
+			t.Fatalf("query %d: got %d, want %d", i, len(got), want)
+		}
+	}
+}
+
+func TestAllPublicLoaders(t *testing.T) {
+	items := randItems(1000, 3)
+	for _, l := range []Loader{PR, Hilbert, Hilbert4D, STR, TGS} {
+		tree := BulkWith(l, items, &Options{Fanout: 16, MemoryItems: 4096})
+		if tree.Len() != 1000 {
+			t.Fatalf("%v: len = %d", l, tree.Len())
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+	}
+}
+
+func TestQueryEarlyStopAndStats(t *testing.T) {
+	tree := Bulk(randItems(2000, 4), &Options{Fanout: 16})
+	count := 0
+	st := tree.Query(NewRect(0, 0, 1.1, 1.1), func(Item) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop at %d", count)
+	}
+	if st.Results != 10 {
+		t.Errorf("stats results = %d", st.Results)
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	tree := Bulk(randItems(500, 5), &Options{Fanout: 8})
+	extra := Item{Rect: NewRect(0.4, 0.4, 0.5, 0.5), ID: 99999}
+	tree.Insert(extra)
+	if tree.Len() != 501 {
+		t.Fatalf("len = %d", tree.Len())
+	}
+	found := false
+	for _, it := range tree.Search(extra.Rect) {
+		if it.ID == extra.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted item not found")
+	}
+	if !tree.Delete(extra) {
+		t.Fatal("delete failed")
+	}
+	if tree.Delete(extra) {
+		t.Fatal("double delete succeeded")
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOStatsAndPinning(t *testing.T) {
+	tree := BulkWith(PR, randItems(5000, 6), &Options{CacheCapacity: 1})
+	pinned := tree.PinInternal()
+	if pinned == 0 {
+		t.Fatal("no internal nodes pinned")
+	}
+	tree.ResetIOStats()
+	st := tree.Query(NewRect(0.2, 0.2, 0.4, 0.4), nil)
+	io := tree.IOStats()
+	if io.Writes != 0 {
+		t.Errorf("query wrote %d blocks", io.Writes)
+	}
+	if int(io.Reads) != st.LeavesVisited {
+		t.Errorf("reads %d != leaves %d with pinned internals", io.Reads, st.LeavesVisited)
+	}
+}
+
+func TestTreeMetadata(t *testing.T) {
+	items := randItems(3000, 7)
+	tree := Bulk(items, nil)
+	if tree.Height() < 1 || tree.Nodes() < 1 {
+		t.Errorf("height=%d nodes=%d", tree.Height(), tree.Nodes())
+	}
+	mbr := tree.MBR()
+	for _, it := range items {
+		if !mbr.Contains(it.Rect) {
+			t.Fatal("MBR misses item")
+		}
+	}
+	leaf, _ := tree.Utilization()
+	if leaf < 0.9 {
+		t.Errorf("leaf utilization %.2f", leaf)
+	}
+	got := tree.Items()
+	if len(got) != len(items) {
+		t.Errorf("Items() = %d", len(got))
+	}
+}
+
+func TestDynamicIndex(t *testing.T) {
+	d := NewDynamic(&Options{Fanout: 16, MemoryItems: 4096})
+	items := randItems(800, 8)
+	for _, it := range items {
+		d.Insert(it)
+	}
+	if d.Len() != 800 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for _, it := range items[:300] {
+		if !d.Delete(it) {
+			t.Fatal("delete failed")
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		q := NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		want := 0
+		for _, it := range items[300:] {
+			if q.Intersects(it.Rect) {
+				want++
+			}
+		}
+		if got := d.Search(q); len(got) != want {
+			t.Fatalf("dynamic query: got %d, want %d", len(got), want)
+		}
+	}
+	d.Flush()
+	if d.Len() != 500 {
+		t.Errorf("len after flush = %d", d.Len())
+	}
+	if d.IOStats().Total() == 0 {
+		t.Error("dynamic index recorded no I/O")
+	}
+	d.ResetIOStats()
+	if d.IOStats().Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRStarUpdateHeuristic(t *testing.T) {
+	items := randItems(800, 12)
+	tree := BulkWith(PR, items, &Options{Fanout: 16, Update: RStar})
+	extra := randItems(300, 13)
+	for i := range extra {
+		extra[i].ID += 20000
+		tree.Insert(extra[i])
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]Item{}, items...), extra...)
+	q := NewRect(0.1, 0.1, 0.7, 0.7)
+	want := 0
+	for _, it := range all {
+		if q.Intersects(it.Rect) {
+			want++
+		}
+	}
+	if got := tree.Search(q); len(got) != want {
+		t.Fatalf("R* tree query: got %d, want %d", len(got), want)
+	}
+}
+
+func TestNilAndZeroOptions(t *testing.T) {
+	a := Bulk(randItems(100, 10), nil)
+	b := Bulk(randItems(100, 10), &Options{})
+	if a.Height() != b.Height() || a.Nodes() != b.Nodes() {
+		t.Error("nil and zero options should agree")
+	}
+}
+
+func TestSearchPointAndContained(t *testing.T) {
+	items := randItems(2000, 14)
+	tree := Bulk(items, &Options{Fanout: 16})
+	x, y := 0.5, 0.5
+	wantPoint := 0
+	for _, it := range items {
+		if it.Rect.ContainsPoint(x, y) {
+			wantPoint++
+		}
+	}
+	if got := tree.SearchPoint(x, y); len(got) != wantPoint {
+		t.Errorf("SearchPoint: got %d, want %d", len(got), wantPoint)
+	}
+	q := NewRect(0.2, 0.2, 0.8, 0.8)
+	wantCont := 0
+	for _, it := range items {
+		if q.Contains(it.Rect) {
+			wantCont++
+		}
+	}
+	if got := tree.SearchContained(q); len(got) != wantCont {
+		t.Errorf("SearchContained: got %d, want %d", len(got), wantCont)
+	}
+}
+
+func TestNearestNeighborsPublic(t *testing.T) {
+	items := randItems(1000, 15)
+	tree := Bulk(items, &Options{Fanout: 16})
+	ns := tree.NearestNeighbors(0.5, 0.5, 7)
+	if len(ns) != 7 {
+		t.Fatalf("kNN returned %d", len(ns))
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i].Dist2 < ns[i-1].Dist2 {
+			t.Fatal("kNN results not sorted")
+		}
+	}
+}
+
+func TestSaveLoadPublic(t *testing.T) {
+	items := randItems(1500, 16)
+	tree := Bulk(items, &Options{Fanout: 16})
+	var buf bytes.Buffer
+	if err := tree.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tree.Len() || got.Height() != tree.Height() {
+		t.Fatalf("metadata mismatch after load")
+	}
+	q := NewRect(0.3, 0.3, 0.6, 0.6)
+	a, b := tree.Search(q), got.Search(q)
+	if len(a) != len(b) {
+		t.Fatalf("loaded tree query: %d vs %d", len(b), len(a))
+	}
+	// The loaded tree accepts updates.
+	got.Insert(Item{Rect: NewRect(0.9, 0.9, 0.95, 0.95), ID: 70000})
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := Bulk(nil, nil)
+	if tree.Len() != 0 {
+		t.Errorf("len = %d", tree.Len())
+	}
+	if got := tree.Search(NewRect(0, 0, 1, 1)); len(got) != 0 {
+		t.Errorf("empty search = %v", got)
+	}
+}
