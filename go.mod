@@ -1,0 +1,3 @@
+module prtree
+
+go 1.22

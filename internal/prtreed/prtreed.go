@@ -13,6 +13,7 @@ package prtreed
 
 import (
 	"fmt"
+	"sync"
 
 	"prtree/internal/geom"
 )
@@ -34,13 +35,15 @@ func (c Config) check() {
 	}
 }
 
-// Tree is a d-dimensional PR-tree.
+// Tree is a d-dimensional PR-tree. It is immutable after Build, and
+// queries are safe to run concurrently.
 type Tree struct {
 	cfg    Config
 	root   *node
 	height int
 	n      int
 	nodes  int
+	stacks sync.Pool // reusable query scratch stacks ([]*node)
 }
 
 type node struct {
@@ -131,34 +134,45 @@ type QueryStats struct {
 }
 
 // Query reports every item intersecting q. fn returning false stops early.
+// The traversal is an explicit-stack preorder walk (children pushed in
+// reverse), mirroring the paged 2D tree's iterative read path: deep trees
+// cost no call-stack growth and scratch stacks are pooled across queries.
+// Pooling (rather than a field) keeps concurrent and nested queries safe.
 func (t *Tree) Query(q geom.RectD, fn func(geom.ItemD) bool) QueryStats {
 	var st QueryStats
-	t.query(t.root, q, fn, &st)
-	return st
-}
-
-func (t *Tree) query(n *node, q geom.RectD, fn func(geom.ItemD) bool, st *QueryStats) bool {
-	st.NodesVisited++
-	if n.isLeaf() {
-		st.LeavesVisited++
-		for _, it := range n.items {
-			if q.Intersects(it.Rect) {
-				st.Results++
-				if fn != nil && !fn(it) {
-					return false
+	sp, _ := t.stacks.Get().(*[]*node)
+	if sp == nil {
+		s := make([]*node, 0, 32)
+		sp = &s
+	}
+	stack := *sp
+	// Pool a pointer-to-slice (SA6002): putting the slice value itself
+	// would box its header, allocating on every query.
+	defer func() { *sp = stack[:0]; t.stacks.Put(sp) }()
+	stack = append(stack[:0], t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		if n.isLeaf() {
+			st.LeavesVisited++
+			for _, it := range n.items {
+				if q.Intersects(it.Rect) {
+					st.Results++
+					if fn != nil && !fn(it) {
+						return st
+					}
 				}
 			}
+			continue
 		}
-		return true
-	}
-	for _, c := range n.children {
-		if q.Intersects(c.bounds) {
-			if !t.query(c, q, fn, st) {
-				return false
+		for i := len(n.children) - 1; i >= 0; i-- {
+			if c := n.children[i]; q.Intersects(c.bounds) {
+				stack = append(stack, c)
 			}
 		}
 	}
-	return true
+	return st
 }
 
 // Validate checks structural invariants: uniform leaf depth, exact bounds,

@@ -1,6 +1,7 @@
 package prtreed
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -137,6 +138,38 @@ func TestBadConfigPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	items := randItemsD(4000, 3, 17)
+	tr := Build(items, Config{Dim: 3, B: 16})
+	rng := rand.New(rand.NewSource(18))
+	queries := make([]geom.RectD, 8)
+	want := make([]int, len(queries))
+	for i := range queries {
+		queries[i] = randQueryD(3, rng)
+		want[i] = tr.Query(queries[i], nil).Results
+	}
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for round := 0; round < 50; round++ {
+				for i, q := range queries {
+					if got := tr.Query(q, nil).Results; got != want[i] {
+						errs <- fmt.Errorf("query %d: got %d results, want %d", i, got, want[i])
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -27,18 +27,16 @@ func NewBuilder(pager *storage.Pager, cfg Config) *Builder {
 func (b *Builder) Fanout() int { return b.tree.cfg.Fanout }
 
 // WriteLeaf writes one leaf page holding items (1..Fanout entries) and
-// returns its child entry for the level above.
+// returns its child entry for the level above. The page is encoded straight
+// into the tree's scratch block — no intermediate node is materialized.
 func (b *Builder) WriteLeaf(items []geom.Item) ChildEntry {
 	if len(items) == 0 || len(items) > b.tree.cfg.Fanout {
 		panic(fmt.Sprintf("rtree: leaf with %d entries (fanout %d)", len(items), b.tree.cfg.Fanout))
 	}
-	n := &node{kind: kindLeaf}
-	for _, it := range items {
-		n.append(it.Rect, it.ID)
-	}
-	id := b.tree.allocNode(n)
+	data, mbr := encodeLeafPage(b.tree.buf, items)
+	id := b.tree.allocPage(data)
 	b.nItems += len(items)
-	return ChildEntry{Rect: n.mbr(), Page: id}
+	return ChildEntry{Rect: mbr, Page: id}
 }
 
 // WriteInternal writes one internal page over the given children
@@ -47,14 +45,9 @@ func (b *Builder) WriteInternal(children []ChildEntry) ChildEntry {
 	if len(children) == 0 || len(children) > b.tree.cfg.Fanout {
 		panic(fmt.Sprintf("rtree: internal node with %d entries (fanout %d)", len(children), b.tree.cfg.Fanout))
 	}
-	n := &node{kind: kindInternal}
-	out := geom.EmptyRect()
-	for _, c := range children {
-		n.append(c.Rect, uint32(c.Page))
-		out = out.Union(c.Rect)
-	}
-	id := b.tree.allocNode(n)
-	return ChildEntry{Rect: out, Page: id}
+	data, mbr := encodeInternalPage(b.tree.buf, children)
+	id := b.tree.allocPage(data)
+	return ChildEntry{Rect: mbr, Page: id}
 }
 
 // PackLevel groups consecutive entries into nodes of at most Fanout

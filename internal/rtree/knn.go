@@ -20,37 +20,41 @@ func (t *Tree) PointQuery(x, y float64, fn func(geom.Item) bool) QueryStats {
 
 // ContainmentQuery reports every stored rectangle fully contained in q.
 // Traversal prunes on intersection (a containing leaf entry must intersect
-// q) and filters on containment at the leaves.
+// q) and filters on containment at the leaves. Like Query, it walks
+// zero-copy views with an explicit preorder stack; fn must not mutate the
+// tree.
 func (t *Tree) ContainmentQuery(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 	var st QueryStats
-	t.containment(t.root, q, fn, &st)
-	return st
-}
-
-func (t *Tree) containment(id storage.PageID, q geom.Rect, fn func(geom.Item) bool, st *QueryStats) bool {
-	n := t.readNode(id)
-	st.NodesVisited++
-	if n.isLeaf() {
-		st.LeavesVisited++
-		for i := range n.rects {
-			if q.Contains(n.rects[i]) {
-				st.Results++
-				if fn != nil && !fn(geom.Item{Rect: n.rects[i], ID: n.refs[i]}) {
-					return false
+	stack := t.grabStack()
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := t.readView(id)
+		st.NodesVisited++
+		if v.isLeaf() {
+			st.LeavesVisited++
+			for i, cnt := 0, v.count(); i < cnt; i++ {
+				r := v.rectAt(i)
+				if q.Contains(r) {
+					st.Results++
+					if fn != nil && !fn(geom.Item{Rect: r, ID: v.refAt(i)}) {
+						t.releaseStack(stack)
+						return st
+					}
 				}
 			}
+			continue
 		}
-		return true
-	}
-	st.InternalVisited++
-	for i := range n.rects {
-		if q.Intersects(n.rects[i]) {
-			if !t.containment(storage.PageID(n.refs[i]), q, fn, st) {
-				return false
+		st.InternalVisited++
+		for i := v.count() - 1; i >= 0; i-- {
+			if q.Intersects(v.rectAt(i)) {
+				stack = append(stack, storage.PageID(v.refAt(i)))
 			}
 		}
 	}
-	return true
+	t.releaseStack(stack)
+	return st
 }
 
 // Neighbor is one k-nearest-neighbor result with its squared distance
@@ -81,22 +85,23 @@ func (t *Tree) NearestNeighbors(x, y float64, k int) ([]Neighbor, QueryStats) {
 			}
 			continue
 		}
-		n := t.readNode(e.page)
+		v := t.readView(e.page)
 		st.NodesVisited++
-		if n.isLeaf() {
+		if v.isLeaf() {
 			st.LeavesVisited++
-			for i := range n.rects {
+			for i, cnt := 0, v.count(); i < cnt; i++ {
+				r := v.rectAt(i)
 				heap.Push(pq, distEntry{
-					dist2: pointRectDist2(x, y, n.rects[i]),
-					item:  geom.Item{Rect: n.rects[i], ID: n.refs[i]},
+					dist2: pointRectDist2(x, y, r),
+					item:  geom.Item{Rect: r, ID: v.refAt(i)},
 				})
 			}
 		} else {
 			st.InternalVisited++
-			for i := range n.rects {
+			for i, cnt := 0, v.count(); i < cnt; i++ {
 				heap.Push(pq, distEntry{
-					dist2:  pointRectDist2(x, y, n.rects[i]),
-					page:   storage.PageID(n.refs[i]),
+					dist2:  pointRectDist2(x, y, v.rectAt(i)),
+					page:   storage.PageID(v.refAt(i)),
 					isNode: true,
 				})
 			}

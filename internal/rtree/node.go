@@ -90,16 +90,105 @@ func encodeNode(buf []byte, n *node) []byte {
 	if need > len(buf) {
 		panic(fmt.Sprintf("rtree: node with %d entries does not fit in %d-byte block", cnt, len(buf)))
 	}
-	buf[0] = n.kind
-	buf[1] = 0
-	buf[2] = byte(cnt)
-	buf[3] = byte(cnt >> 8)
+	encodeHeader(buf, n.kind, cnt)
 	off := headerSize
 	for i := 0; i < cnt; i++ {
 		storage.EncodeItem(buf[off:], geom.Item{Rect: n.rects[i], ID: n.refs[i]})
 		off += EntrySize
 	}
 	return buf[:need]
+}
+
+// nodeView is a zero-copy window onto a page's bytes: header fields come
+// straight from the page header and entries are decoded lazily, one at a
+// time, so a cache-hit node visit allocates nothing. Views are values — do
+// not take their address — and borrow the pager's cached slice: they are
+// only valid until the next write to the page, so callers must not mutate
+// the tree while holding one.
+type nodeView struct {
+	data []byte
+}
+
+func (v nodeView) isLeaf() bool { return v.data[0] == kindLeaf }
+
+func (v nodeView) count() int { return int(v.data[2]) | int(v.data[3])<<8 }
+
+// rectAt decodes entry i's rectangle.
+func (v nodeView) rectAt(i int) geom.Rect {
+	return storage.DecodeRect(v.data[headerSize+i*EntrySize:])
+}
+
+// refAt decodes entry i's reference: a data id in leaves, a child page id
+// in internal nodes.
+func (v nodeView) refAt(i int) uint32 {
+	return storage.DecodeRef(v.data[headerSize+i*EntrySize:])
+}
+
+func (v nodeView) itemAt(i int) geom.Item {
+	return storage.DecodeItem(v.data[headerSize+i*EntrySize:])
+}
+
+// mbr unions every entry rectangle, matching (*node).mbr bit for bit.
+func (v nodeView) mbr() geom.Rect {
+	out := geom.EmptyRect()
+	for i, cnt := 0, v.count(); i < cnt; i++ {
+		out = out.Union(v.rectAt(i))
+	}
+	return out
+}
+
+// items materializes every entry (used by Walk, which hands callers a
+// slice; the query paths never call this).
+func (v nodeView) items() []geom.Item {
+	out := make([]geom.Item, v.count())
+	for i := range out {
+		out[i] = v.itemAt(i)
+	}
+	return out
+}
+
+// encodeHeader stamps the page header shared by every encoder.
+func encodeHeader(buf []byte, kind byte, cnt int) {
+	buf[0] = kind
+	buf[1] = 0
+	buf[2] = byte(cnt)
+	buf[3] = byte(cnt >> 8)
+}
+
+// encodeLeafPage serializes a leaf holding items directly into a
+// block-sized buffer, returning the encoded prefix and the leaf MBR. The
+// bulk-load builder uses it to write pages without materializing a node.
+func encodeLeafPage(buf []byte, items []geom.Item) ([]byte, geom.Rect) {
+	need := headerSize + len(items)*EntrySize
+	if need > len(buf) {
+		panic(fmt.Sprintf("rtree: leaf with %d entries does not fit in %d-byte block", len(items), len(buf)))
+	}
+	encodeHeader(buf, kindLeaf, len(items))
+	mbr := geom.EmptyRect()
+	off := headerSize
+	for _, it := range items {
+		storage.EncodeItem(buf[off:], it)
+		mbr = mbr.Union(it.Rect)
+		off += EntrySize
+	}
+	return buf[:need], mbr
+}
+
+// encodeInternalPage is encodeLeafPage for an internal node over children.
+func encodeInternalPage(buf []byte, children []ChildEntry) ([]byte, geom.Rect) {
+	need := headerSize + len(children)*EntrySize
+	if need > len(buf) {
+		panic(fmt.Sprintf("rtree: internal node with %d entries does not fit in %d-byte block", len(children), len(buf)))
+	}
+	encodeHeader(buf, kindInternal, len(children))
+	mbr := geom.EmptyRect()
+	off := headerSize
+	for _, c := range children {
+		storage.EncodeItem(buf[off:], geom.Item{Rect: c.Rect, ID: uint32(c.Page)})
+		mbr = mbr.Union(c.Rect)
+		off += EntrySize
+	}
+	return buf[:need], mbr
 }
 
 // decodeNode parses a page into a node.

@@ -64,6 +64,11 @@ func Load(r io.Reader, cacheCapacity int) (*Tree, error) {
 		}
 		meta[i] = binary.LittleEndian.Uint64(buf[:])
 	}
+	// Range-check the root id at full width before narrowing to PageID: a
+	// corrupt upper half would otherwise truncate onto a valid page.
+	if meta[0] >= uint64(disk.NumPages()) {
+		return nil, fmt.Errorf("rtree: root page %d out of range", meta[0])
+	}
 	t := &Tree{
 		pager: storage.NewPager(disk, cacheCapacity),
 		cfg: Config{
@@ -77,11 +82,37 @@ func Load(r io.Reader, cacheCapacity int) (*Tree, error) {
 		nNodes: int(meta[3]),
 		buf:    make([]byte, disk.BlockSize()),
 	}
-	if int(t.root) >= disk.NumPages() {
-		return nil, fmt.Errorf("rtree: root page %d out of range", t.root)
-	}
 	if t.height < 1 {
 		return nil, fmt.Errorf("rtree: implausible height %d", t.height)
 	}
+	// Sanity-check the root page header through a zero-copy view over the
+	// raw block (PeekNoCopy, so the restored disk's I/O counters stay
+	// untouched) before handing the tree to callers. The block size and
+	// fanout come from the untrusted stream too, so bound them first: the
+	// header must fit the block, and the recorded fanout must not exceed
+	// the block's real capacity — the entry-count check below then bounds
+	// rectAt/refAt indexing transitively.
+	if disk.BlockSize() < headerSize+EntrySize {
+		return nil, fmt.Errorf("rtree: block size %d cannot hold a node", disk.BlockSize())
+	}
+	if t.cfg.Fanout < 2 || t.cfg.Fanout > MaxFanout(disk.BlockSize()) {
+		return nil, fmt.Errorf("rtree: implausible fanout %d for %d-byte blocks", t.cfg.Fanout, disk.BlockSize())
+	}
+	root := nodeView{data: disk.PeekNoCopy(t.root)}
+	if kind := root.data[0]; kind != kindLeaf && kind != kindInternal {
+		return nil, fmt.Errorf("rtree: root page %d has invalid kind %d", t.root, kind)
+	}
+	if cnt := root.count(); cnt > t.cfg.Fanout {
+		return nil, fmt.Errorf("rtree: root page %d holds %d entries, fanout %d", t.root, cnt, t.cfg.Fanout)
+	}
+	if t.height > 1 && root.isLeaf() {
+		return nil, fmt.Errorf("rtree: root page %d is a leaf but height is %d", t.root, t.height)
+	}
+	if t.height == 1 && !root.isLeaf() {
+		return nil, fmt.Errorf("rtree: root page %d is internal but height is 1", t.root)
+	}
+	// These checks cover the root header only; a hostile snapshot can still
+	// encode deeper corruption (cycles, wrong levels). Callers loading
+	// untrusted data should run Validate, which walks every page.
 	return t, nil
 }

@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 
@@ -81,6 +82,81 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(nil), -1); err == nil {
 		t.Error("empty input should not load")
+	}
+}
+
+func TestLoadRejectsCorruptHeader(t *testing.T) {
+	items := randItems(200, 21)
+	tr := buildPacked(t, items, 8)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Locate the root page and the tree metadata in the snapshot:
+	// PRDISK01 blockSize:u32 numPages:u32 freeCount:u32 free[]:u32 pages,
+	// then PRTREE01 root:u64 height:u64 ... fanout:u64 ...
+	blockSize := binary.LittleEndian.Uint32(pristine[8:])
+	numPages := binary.LittleEndian.Uint32(pristine[12:])
+	freeCount := binary.LittleEndian.Uint32(pristine[16:])
+	pagesOff := 20 + 4*freeCount
+	metaOff := pagesOff + numPages*blockSize + 8
+	root := binary.LittleEndian.Uint64(pristine[metaOff:])
+
+	corrupt := func(name string, mutate func(b []byte)) {
+		b := append([]byte(nil), pristine...)
+		mutate(b)
+		if _, err := Load(bytes.NewReader(b), -1); err == nil {
+			t.Errorf("%s: corrupt snapshot should not load", name)
+		}
+	}
+	corrupt("bad root kind", func(b []byte) {
+		b[pagesOff+uint32(root)*blockSize] = 7
+	})
+	corrupt("oversized fanout", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[metaOff+4*8:], 70000)
+	})
+	corrupt("internal root with height 1", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[metaOff+8:], 1)
+	})
+	corrupt("root id overflowing uint32", func(b []byte) {
+		// 2^32 + root would truncate back onto the valid root page if the
+		// id were narrowed before range-checking.
+		binary.LittleEndian.PutUint64(b[metaOff:], 1<<32|root)
+	})
+	// A leaf root with a recorded height > 1 must be rejected: save a
+	// single-leaf tree and bump its height metadata.
+	small := buildPacked(t, randItems(3, 22), 8)
+	var sb bytes.Buffer
+	if err := small.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.Bytes()
+	sFree := binary.LittleEndian.Uint32(s[16:])
+	sPages := binary.LittleEndian.Uint32(s[12:])
+	sMeta := 20 + 4*sFree + sPages*blockSize + 8
+	binary.LittleEndian.PutUint64(s[sMeta+8:], 2)
+	if _, err := Load(bytes.NewReader(s), -1); err == nil {
+		t.Error("leaf root with height 2 should not load")
+	}
+
+	// A snapshot whose block size cannot hold a node header must be
+	// rejected, not panic (the root view would index past the page).
+	tiny := storage.NewDisk(2)
+	tiny.Alloc()
+	var tb bytes.Buffer
+	if _, err := tiny.WriteTo(&tb); err != nil {
+		t.Fatal(err)
+	}
+	tb.Write([]byte("PRTREE01"))
+	var u64 [8]byte
+	for _, v := range []uint64{0, 1, 0, 1, 8, 3, 0} { // root height items nodes fanout minfill split
+		binary.LittleEndian.PutUint64(u64[:], v)
+		tb.Write(u64[:])
+	}
+	if _, err := Load(bytes.NewReader(tb.Bytes()), -1); err == nil {
+		t.Error("tiny-block snapshot should not load")
 	}
 }
 

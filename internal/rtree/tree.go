@@ -35,6 +35,15 @@ const (
 
 // Tree is a paged R-tree. All node accesses go through the pager so that
 // block I/O is counted on the underlying simulated disk.
+//
+// Reads come in two flavors. The query paths (Query, PointQuery,
+// ContainmentQuery, NearestNeighbors, Walk, Validate, MBR) use zero-copy
+// nodeViews over the pager's cached bytes, so a cache-hit node visit
+// allocates nothing. The mutation paths (Insert, Delete) materialize nodes
+// and memoize them in the pager's decoded cache, kept coherent by
+// write-through in writeNode and invalidation in freeNode and the pager
+// itself. Both flavors call Pager.Read first, so block-I/O accounting is
+// identical to an implementation that decodes eagerly.
 type Tree struct {
 	pager  *storage.Pager
 	cfg    Config
@@ -42,7 +51,8 @@ type Tree struct {
 	height int // number of levels; 1 = root is a leaf
 	nItems int
 	nNodes int
-	buf    []byte // scratch block for serialization
+	buf    []byte           // scratch block for serialization
+	stack  []storage.PageID // reusable traversal scratch; nil while borrowed
 }
 
 // New creates an empty tree (a single empty leaf) on the pager.
@@ -91,12 +101,32 @@ func (t *Tree) Len() int { return t.nItems }
 // Nodes returns the number of pages the tree occupies.
 func (t *Tree) Nodes() int { return t.nNodes }
 
-func (t *Tree) readNode(id storage.PageID) *node {
-	return decodeNode(t.pager.Read(id))
+// readView returns a zero-copy view of the page. The view borrows the
+// pager's cached slice and stays valid only until the page is written.
+func (t *Tree) readView(id storage.PageID) nodeView {
+	return nodeView{data: t.pager.Read(id)}
 }
 
+// readNode returns the materialized form of the page for the mutation
+// paths. The pager is always Read first — preserving hit/miss and block-I/O
+// accounting exactly — and the decode is skipped when the pager still holds
+// the node decoded from those same bytes.
+func (t *Tree) readNode(id storage.PageID) *node {
+	data := t.pager.Read(id)
+	if v, ok := t.pager.Decoded(id); ok {
+		return v.(*node)
+	}
+	n := decodeNode(data)
+	t.pager.StoreDecoded(id, n)
+	return n
+}
+
+// writeNode persists n and re-memoizes it: the write drops the stale
+// decoded entry, and storing n afterwards keeps the cache warm for the
+// next read of the page.
 func (t *Tree) writeNode(id storage.PageID, n *node) {
 	t.pager.Write(id, encodeNode(t.buf, n))
+	t.pager.StoreDecoded(id, n)
 }
 
 func (t *Tree) allocNode(n *node) storage.PageID {
@@ -106,11 +136,34 @@ func (t *Tree) allocNode(n *node) storage.PageID {
 	return id
 }
 
+// allocPage writes pre-encoded page bytes (from encodeLeafPage /
+// encodeInternalPage) without materializing a node.
+func (t *Tree) allocPage(data []byte) storage.PageID {
+	id := t.pager.Disk().Alloc()
+	t.pager.Write(id, data)
+	t.nNodes++
+	return id
+}
+
 func (t *Tree) freeNode(id storage.PageID) {
 	t.pager.Invalidate(id)
 	t.pager.Disk().Free(id)
 	t.nNodes--
 }
+
+// grabStack borrows the tree's traversal scratch, detaching it so a nested
+// query issued from a visitor callback allocates its own rather than
+// corrupting the outer traversal.
+func (t *Tree) grabStack() []storage.PageID {
+	s := t.stack
+	t.stack = nil
+	if s == nil {
+		s = make([]storage.PageID, 0, 64)
+	}
+	return s[:0]
+}
+
+func (t *Tree) releaseStack(s []storage.PageID) { t.stack = s }
 
 // QueryStats reports the work done by one window query.
 type QueryStats struct {
@@ -123,38 +176,45 @@ type QueryStats struct {
 // Query reports every stored item intersecting q to fn, in unspecified
 // order. fn returning false stops the query early. The returned stats count
 // node visits regardless of cache state; block-level I/O is tracked by the
-// disk underneath the pager.
+// disk underneath the pager. fn must not mutate the tree: the traversal
+// reads node entries in place from the page cache.
+//
+// The traversal is an explicit-stack preorder walk over zero-copy views —
+// children are pushed in reverse so pages are visited in exactly the order
+// the recursive formulation would, keeping I/O traces identical even under
+// a bounded LRU.
 func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 	var st QueryStats
-	t.query(t.root, q, fn, &st)
-	return st
-}
-
-// query returns false if fn aborted the traversal.
-func (t *Tree) query(id storage.PageID, q geom.Rect, fn func(geom.Item) bool, st *QueryStats) bool {
-	n := t.readNode(id)
-	st.NodesVisited++
-	if n.isLeaf() {
-		st.LeavesVisited++
-		for i := range n.rects {
-			if q.Intersects(n.rects[i]) {
-				st.Results++
-				if fn != nil && !fn(geom.Item{Rect: n.rects[i], ID: n.refs[i]}) {
-					return false
+	stack := t.grabStack()
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := t.readView(id)
+		st.NodesVisited++
+		if v.isLeaf() {
+			st.LeavesVisited++
+			for i, cnt := 0, v.count(); i < cnt; i++ {
+				r := v.rectAt(i)
+				if q.Intersects(r) {
+					st.Results++
+					if fn != nil && !fn(geom.Item{Rect: r, ID: v.refAt(i)}) {
+						t.releaseStack(stack)
+						return st
+					}
 				}
 			}
+			continue
 		}
-		return true
-	}
-	st.InternalVisited++
-	for i := range n.rects {
-		if q.Intersects(n.rects[i]) {
-			if !t.query(storage.PageID(n.refs[i]), q, fn, st) {
-				return false
+		st.InternalVisited++
+		for i := v.count() - 1; i >= 0; i-- {
+			if q.Intersects(v.rectAt(i)) {
+				stack = append(stack, storage.PageID(v.refAt(i)))
 			}
 		}
 	}
-	return true
+	t.releaseStack(stack)
+	return st
 }
 
 // QueryCollect returns all items intersecting q.
@@ -176,16 +236,25 @@ func (t *Tree) QueryCount(q geom.Rect) QueryStats {
 // (0 = leaf level) and entries. Internal entries carry child page ids in
 // Item.ID. Walk is intended for inspection, validation and pinning.
 func (t *Tree) Walk(fn func(page storage.PageID, level int, isLeaf bool, entries []geom.Item)) {
-	t.walk(t.root, t.height-1, fn)
-}
-
-func (t *Tree) walk(id storage.PageID, level int, fn func(storage.PageID, int, bool, []geom.Item)) {
-	n := t.readNode(id)
-	fn(id, level, n.isLeaf(), n.items())
-	if !n.isLeaf() {
-		for _, ref := range n.refs {
-			t.walk(storage.PageID(ref), level-1, fn)
+	type frame struct {
+		page  storage.PageID
+		level int
+	}
+	stack := []frame{{page: t.root, level: t.height - 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := t.readView(f.page)
+		isLeaf := v.isLeaf()
+		entries := v.items()
+		// Children are pushed (reversed, for recursive preorder) before fn
+		// runs so a callback that writes pages cannot skew the traversal.
+		if !isLeaf {
+			for i := v.count() - 1; i >= 0; i-- {
+				stack = append(stack, frame{page: storage.PageID(v.refAt(i)), level: f.level - 1})
+			}
 		}
+		fn(f.page, f.level, isLeaf, entries)
 	}
 }
 
@@ -215,13 +284,18 @@ func (t *Tree) PinInternal() int {
 	return pinned
 }
 
-// MBR returns the bounding box of the whole tree (invalid rect when empty).
+// MBR returns the bounding box of the whole tree (invalid rect when empty
+// or released).
 func (t *Tree) MBR() geom.Rect {
-	return t.readNode(t.root).mbr()
+	if t.root == storage.NilPage {
+		return geom.EmptyRect()
+	}
+	return t.readView(t.root).mbr()
 }
 
 // Release frees every page of the tree back to the disk and invalidates
-// cached copies. The tree must not be used afterwards. Callers that
+// cached copies, zeroing all counters. The tree must not be queried
+// afterwards (MBR remains safe and reports an empty rect). Callers that
 // rebuild indexes (e.g. the logarithmic method) use this to reclaim space.
 func (t *Tree) Release() {
 	var pages []storage.PageID
@@ -233,6 +307,8 @@ func (t *Tree) Release() {
 	}
 	t.root = storage.NilPage
 	t.nItems = 0
+	t.height = 0
+	t.nNodes = 0
 }
 
 // Utilization returns average node fill as a fraction of fanout, computed

@@ -313,6 +313,37 @@ func TestQueryIOEqualsNodesWithoutCache(t *testing.T) {
 	}
 }
 
+func TestReleaseResetsCounters(t *testing.T) {
+	items := randItems(256, 16)
+	tr := buildPacked(t, items, 4)
+	if tr.Height() < 2 || tr.Nodes() < 2 {
+		t.Fatalf("test tree too small: %v", tr)
+	}
+	disk := tr.Pager().Disk()
+	inUse := disk.PagesInUse()
+	tr.Release()
+	if tr.Len() != 0 || tr.Nodes() != 0 || tr.Height() != 0 {
+		t.Errorf("released tree reports items=%d nodes=%d height=%d, want all 0",
+			tr.Len(), tr.Nodes(), tr.Height())
+	}
+	if tr.Root() != storage.NilPage {
+		t.Errorf("released root = %d, want NilPage", tr.Root())
+	}
+	if freed := inUse - disk.PagesInUse(); freed <= 0 {
+		t.Errorf("Release freed %d pages", freed)
+	}
+	if m := tr.MBR(); m.Valid() {
+		t.Errorf("released tree MBR = %v, want invalid (empty) rect", m)
+	}
+}
+
+func TestMBREmptyTree(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	if m := tr.MBR(); m.Valid() {
+		t.Errorf("empty tree MBR = %v, want invalid (empty) rect", m)
+	}
+}
+
 func TestTreeMBRCoversAll(t *testing.T) {
 	items := randItems(200, 15)
 	tr := buildPacked(t, items, 8)

@@ -35,31 +35,35 @@ func (t *Tree) validate(id storage.PageID, level int, seen map[storage.PageID]bo
 		return 0, 0, fmt.Errorf("rtree: page %d referenced twice", id)
 	}
 	seen[id] = true
-	n := t.readNode(id)
-	if n.count() > t.cfg.Fanout {
-		return 0, 0, fmt.Errorf("rtree: page %d holds %d entries, fanout %d", id, n.count(), t.cfg.Fanout)
+	v := t.readView(id)
+	cnt := v.count()
+	if cnt > t.cfg.Fanout {
+		return 0, 0, fmt.Errorf("rtree: page %d holds %d entries, fanout %d", id, cnt, t.cfg.Fanout)
 	}
-	if n.isLeaf() {
+	if v.isLeaf() {
 		if level != 0 {
 			return 0, 0, fmt.Errorf("rtree: leaf %d at level %d", id, level)
 		}
-		if n.count() == 0 && id != t.root {
+		if cnt == 0 && id != t.root {
 			return 0, 0, fmt.Errorf("rtree: non-root leaf %d is empty", id)
 		}
-		return n.count(), 1, nil
+		return cnt, 1, nil
 	}
 	if level == 0 {
 		return 0, 0, fmt.Errorf("rtree: internal node %d at leaf level", id)
 	}
-	if n.count() == 0 {
+	if cnt == 0 {
 		return 0, 0, fmt.Errorf("rtree: internal node %d is empty", id)
 	}
 	nodes = 1
-	for i := range n.rects {
-		child := storage.PageID(n.refs[i])
-		cn := t.readNode(child)
-		if got := cn.mbr(); got != n.rects[i] {
-			return 0, 0, fmt.Errorf("rtree: node %d entry %d rect %v != child MBR %v", id, i, n.rects[i], got)
+	for i := 0; i < cnt; i++ {
+		r := v.rectAt(i)
+		child := storage.PageID(v.refAt(i))
+		// The recursive child read below may refresh this page's cached
+		// bytes' residency, but never their content: reads don't write, so
+		// the view stays valid across the recursion.
+		if got := t.readView(child).mbr(); got != r {
+			return 0, 0, fmt.Errorf("rtree: node %d entry %d rect %v != child MBR %v", id, i, r, got)
 		}
 		ci, cnodes, err := t.validate(child, level-1, seen)
 		if err != nil {

@@ -7,13 +7,23 @@ import "container/list"
 // the reported query cost is the number of leaf blocks fetched.
 //
 // The cache is read-only: writers go directly to the Disk. Writing through
-// the pager invalidates the cached copy.
+// the pager refreshes the cached copy.
+//
+// Alongside the byte cache the pager keeps a decoded-page cache: consumers
+// that materialize an in-memory form of a page (e.g. an R-tree node) may
+// memoize it with StoreDecoded and recover it with Decoded. Decoded values
+// never substitute for Read — callers still Read first, so hit/miss and
+// block-I/O accounting are unaffected — they only skip re-parsing bytes
+// already resident. Entries are dropped whenever the bytes they were parsed
+// from change or leave the cache: on Write, Invalidate, DropCache and LRU
+// eviction.
 type Pager struct {
 	disk     *Disk
 	capacity int // max unpinned cached pages; <0 means unbounded
 	lru      *list.List
 	entries  map[PageID]*list.Element
 	pinned   map[PageID][]byte
+	decoded  map[PageID]interface{}
 
 	hits   uint64
 	misses uint64
@@ -34,6 +44,7 @@ func NewPager(disk *Disk, capacity int) *Pager {
 		lru:      list.New(),
 		entries:  make(map[PageID]*list.Element),
 		pinned:   make(map[PageID][]byte),
+		decoded:  make(map[PageID]interface{}),
 	}
 }
 
@@ -82,13 +93,43 @@ func (p *Pager) Pin(id PageID) {
 	p.pinned[id] = data
 }
 
-// Unpin releases a pinned page. It is a no-op for unpinned pages.
+// Unpin releases a pinned page. The page leaves the cache entirely (it is
+// not demoted to the LRU), so its decoded entry goes with it. It is a no-op
+// for unpinned pages.
 func (p *Pager) Unpin(id PageID) {
+	if _, ok := p.pinned[id]; !ok {
+		return
+	}
 	delete(p.pinned, id)
+	delete(p.decoded, id)
 }
 
-// Write stores data to page id on disk and refreshes any cached copy.
+// Decoded returns the memoized decoded form of page id, if any. A hit
+// guarantees the value was stored against the bytes currently cached for
+// the page (writes and invalidations drop it).
+func (p *Pager) Decoded(id PageID) (interface{}, bool) {
+	v, ok := p.decoded[id]
+	return v, ok
+}
+
+// StoreDecoded memoizes the decoded form of page id. The entry is kept only
+// while the page's bytes are resident (pinned or in the LRU): tying decoded
+// lifetime to byte residency keeps memory proportional to the configured
+// cache capacity, and a capacity-0 pager stays cache-free as configured.
+func (p *Pager) StoreDecoded(id PageID, v interface{}) {
+	if _, ok := p.pinned[id]; !ok {
+		if _, ok := p.entries[id]; !ok {
+			return
+		}
+	}
+	p.decoded[id] = v
+}
+
+// Write stores data to page id on disk and refreshes any cached copy. The
+// decoded entry, parsed from the overwritten bytes, is dropped; callers
+// writing an already-materialized form may StoreDecoded it again.
 func (p *Pager) Write(id PageID, data []byte) {
+	delete(p.decoded, id)
 	p.disk.Write(id, data)
 	if pd, ok := p.pinned[id]; ok {
 		copy(pd, data)
@@ -106,8 +147,10 @@ func (p *Pager) Write(id PageID, data []byte) {
 	}
 }
 
-// Invalidate drops any cached copy of page id without touching the disk.
+// Invalidate drops any cached copy of page id (bytes and decoded form)
+// without touching the disk.
 func (p *Pager) Invalidate(id PageID) {
+	delete(p.decoded, id)
 	delete(p.pinned, id)
 	if el, ok := p.entries[id]; ok {
 		p.lru.Remove(el)
@@ -115,11 +158,12 @@ func (p *Pager) Invalidate(id PageID) {
 	}
 }
 
-// DropCache empties both the LRU and the pin set.
+// DropCache empties the LRU, the pin set and the decoded cache.
 func (p *Pager) DropCache() {
 	p.lru.Init()
 	p.entries = make(map[PageID]*list.Element)
 	p.pinned = make(map[PageID][]byte)
+	p.decoded = make(map[PageID]interface{})
 }
 
 // HitRate returns cache hits and misses since construction.
@@ -137,5 +181,6 @@ func (p *Pager) evict() {
 		ce := el.Value.(*cacheEntry)
 		p.lru.Remove(el)
 		delete(p.entries, ce.id)
+		delete(p.decoded, ce.id)
 	}
 }

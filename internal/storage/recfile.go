@@ -25,6 +25,24 @@ func EncodeItem(buf []byte, it geom.Item) {
 	binary.LittleEndian.PutUint32(buf[32:], it.ID)
 }
 
+// DecodeRect deserializes only the rectangle of a record written by
+// EncodeItem. It is the zero-copy read path's workhorse: intersection tests
+// against page bytes decode the rect without touching the id.
+func DecodeRect(buf []byte) geom.Rect {
+	return geom.Rect{
+		MinX: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		MinY: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		MaxX: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		MaxY: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+	}
+}
+
+// DecodeRef deserializes only the 4-byte pointer of a record written by
+// EncodeItem.
+func DecodeRef(buf []byte) uint32 {
+	return binary.LittleEndian.Uint32(buf[32:])
+}
+
 // DecodeItem deserializes a record written by EncodeItem.
 func DecodeItem(buf []byte) geom.Item {
 	return geom.Item{
