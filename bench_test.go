@@ -30,6 +30,10 @@ var benchLoaders = []bulk.Loader{bulk.LoaderHilbert, bulk.LoaderHilbert4D, bulk.
 
 // benchBuild bulk-loads items once per iteration, reporting block I/O.
 func benchBuild(b *testing.B, l bulk.Loader, items []geom.Item) {
+	benchBuildOpt(b, l, items, bulk.Options{MemoryItems: benchMem})
+}
+
+func benchBuildOpt(b *testing.B, l bulk.Loader, items []geom.Item, opt bulk.Options) {
 	b.Helper()
 	var lastIO uint64
 	for i := 0; i < b.N; i++ {
@@ -37,7 +41,7 @@ func benchBuild(b *testing.B, l bulk.Loader, items []geom.Item) {
 		pager := storage.NewPager(disk, -1)
 		in := storage.NewItemFileFrom(disk, items)
 		disk.ResetStats()
-		tree := bulk.Load(l, pager, in, bulk.Options{MemoryItems: benchMem})
+		tree := bulk.Load(l, pager, in, opt)
 		lastIO = disk.Stats().Total()
 		if tree.Len() != len(items) {
 			b.Fatalf("lost items: %d != %d", tree.Len(), len(items))
@@ -217,6 +221,19 @@ func BenchmarkPseudoPRBuildInMemory(b *testing.B) {
 func BenchmarkPRBulkLoadExternal(b *testing.B) {
 	items := dataset.Uniform(50000, 0.001, 20)
 	benchBuild(b, bulk.LoaderPR, items)
+}
+
+// BenchmarkPRBulkLoadExternalParallel is the serial benchmark above with
+// the pipeline's worker pool engaged (workers are clamped to GOMAXPROCS).
+// The reported blockIO/op is identical to the serial run at every worker
+// count — only wall-clock changes.
+func BenchmarkPRBulkLoadExternalParallel(b *testing.B) {
+	items := dataset.Uniform(50000, 0.001, 20)
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchBuildOpt(b, bulk.LoaderPR, items, bulk.Options{MemoryItems: benchMem, Parallelism: w})
+		})
+	}
 }
 
 func BenchmarkWindowQueryPR(b *testing.B) {

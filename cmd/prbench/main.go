@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	prbench [-scale F] [-queries N] [-mem M] [-seed S] [-only ids]
+//	prbench [-scale F] [-queries N] [-mem M] [-workers W] [-seed S] [-only ids]
 //
 // -scale multiplies the default dataset sizes (~120k rectangles at 1.0;
 // the paper used 10-16.7M — scale 100 reproduces that on a large machine).
+// -workers sets the bulk-load pipeline's parallelism (default: GOMAXPROCS;
+// block-I/O counts are identical at any setting, only wall-clock changes).
 // -only selects a comma-separated subset of experiment ids, e.g.
 // "fig9,table1".
 package main
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +29,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
 	queries := flag.Int("queries", 100, "window queries per measurement point")
 	mem := flag.Int("mem", 0, "bulk-loading memory budget in records (0 = default 65536)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "bulk-load parallelism (1 = serial; I/O counts are identical at any setting)")
 	seed := flag.Int64("seed", 2004, "generator seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -49,6 +53,7 @@ func main() {
 		Scale:       *scale,
 		Queries:     *queries,
 		MemoryItems: *mem,
+		Workers:     *workers,
 		Seed:        *seed,
 	}
 	want := map[string]bool{}
@@ -90,7 +95,7 @@ func main() {
 		"futurework":        experiments.FutureWorkUpdates,
 	}
 
-	fmt.Printf("PR-tree reproduction suite (scale=%g queries=%d seed=%d)\n\n", *scale, *queries, *seed)
+	fmt.Printf("PR-tree reproduction suite (scale=%g queries=%d workers=%d seed=%d)\n\n", *scale, *queries, *workers, *seed)
 	total := time.Now()
 	for _, id := range ids {
 		if len(want) > 0 && !want[id] {

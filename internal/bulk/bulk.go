@@ -8,6 +8,7 @@
 package bulk
 
 import (
+	"prtree/internal/extsort"
 	"prtree/internal/geom"
 	"prtree/internal/rtree"
 	"prtree/internal/storage"
@@ -26,6 +27,16 @@ type Options struct {
 	// Split selects the heuristic used by *subsequent dynamic updates* on
 	// the loaded tree (bulk loading itself never splits nodes).
 	Split rtree.SplitKind
+	// Parallelism bounds the bulk-load pipeline's worker pool (clamped to
+	// GOMAXPROCS; 0 or 1 means serial). Every loader produces the same
+	// tree shape and identical block-I/O counts at every setting — the
+	// knob only spreads the CPU work (sorting, key computation, node
+	// encoding of independent sort runs) across cores. Parallel loads
+	// temporarily hold up to Parallelism+1 sort chunks of MemoryItems
+	// records in memory; the PR and TGS loaders run their four axis
+	// sorts concurrently with a quarter of the budget each, peaking at
+	// about (Parallelism+4)x MemoryItems records transiently.
+	Parallelism int
 }
 
 // DefaultMemoryItems corresponds to the paper's 64 MB of TPIE memory
@@ -48,7 +59,16 @@ func (o Options) normalized(blockSize int) Options {
 	if o.HilbertBits <= 0 {
 		o.HilbertBits = 16
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
 	return o
+}
+
+// sortConfig returns the external-sort configuration the loader's sorts
+// share.
+func (o Options) sortConfig() extsort.Config {
+	return extsort.Config{MemoryItems: o.MemoryItems, Workers: o.Parallelism}
 }
 
 // Loader identifies a bulk-loading algorithm.

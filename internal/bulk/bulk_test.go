@@ -2,6 +2,7 @@ package bulk
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"prtree/internal/geom"
@@ -20,6 +21,13 @@ func randItems(n int, seed int64) []geom.Item {
 		}
 	}
 	return items
+}
+
+// allowParallelism raises GOMAXPROCS so the worker pool actually fans out
+// even on single-CPU machines (Parallelism is clamped to GOMAXPROCS).
+func allowParallelism() func() {
+	old := runtime.GOMAXPROCS(4)
+	return func() { runtime.GOMAXPROCS(old) }
 }
 
 func allLoaders() []Loader {
@@ -273,6 +281,51 @@ func TestDuplicateRectsAllLoaders(t *testing.T) {
 		}
 		if got := tr.QueryCount(geom.NewRect(0.5, 0.5, 0.5, 0.5)); got.Results != 600 {
 			t.Fatalf("%v: found %d of 600 duplicates", l, got.Results)
+		}
+	}
+}
+
+// TestLoadersSerialParallelEquivalence checks the pipeline's determinism
+// guarantee end to end: every loader must report identical disk read/write
+// counters, build a tree of the same height and size, and answer queries
+// identically at every Parallelism setting. (Page ids may differ — page
+// allocation order is scheduling-dependent — so tree bytes are compared
+// through query results, not raw pages.)
+func TestLoadersSerialParallelEquivalence(t *testing.T) {
+	defer allowParallelism()()
+	items := randItems(9000, 5)
+	queries := []geom.Rect{
+		geom.NewRect(0.1, 0.1, 0.3, 0.4),
+		geom.NewRect(0.5, 0.5, 0.52, 0.52),
+		geom.NewRect(0, 0, 1.1, 1.1),
+	}
+	for _, l := range allLoaders() {
+		type result struct {
+			stats   storage.Stats
+			len     int
+			height  int
+			results [3]int
+			leaves  [3]int
+		}
+		measure := func(par int) result {
+			disk := storage.NewDisk(storage.DefaultBlockSize)
+			pager := storage.NewPager(disk, -1)
+			in := storage.NewItemFileFrom(disk, items)
+			disk.ResetStats()
+			tr := Load(l, pager, in, Options{Fanout: 16, MemoryItems: 1024, Parallelism: par})
+			r := result{stats: disk.Stats(), len: tr.Len(), height: tr.Height()}
+			for i, q := range queries {
+				st := tr.QueryCount(q)
+				r.results[i] = st.Results
+				r.leaves[i] = st.LeavesVisited
+			}
+			return r
+		}
+		serial := measure(1)
+		for _, par := range []int{2, 4} {
+			if got := measure(par); got != serial {
+				t.Errorf("%v: parallelism %d diverges from serial:\n got %+v\nwant %+v", l, par, got, serial)
+			}
 		}
 	}
 }

@@ -23,7 +23,7 @@ func Hilbert2D(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.T
 	q := hilbert.NewQuantizer2D(worldOf(in), opt.HilbertBits)
 	sorted := extsort.Sort(pager.Disk(), in, extsort.UintKey(func(it geom.Item) uint64 {
 		return q.CenterKey(it.Rect)
-	}), extsort.Config{MemoryItems: opt.MemoryItems})
+	}), opt.sortConfig())
 	in.Free()
 	return b.FinishPacked(packSortedLeaves(b, sorted))
 }
@@ -42,7 +42,7 @@ func Hilbert4D(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.T
 	q := hilbert.NewQuantizer4D(worldOf(in), opt.HilbertBits)
 	sorted := extsort.Sort(pager.Disk(), in, extsort.UintKey(func(it geom.Item) uint64 {
 		return q.Key(it.Rect)
-	}), extsort.Config{MemoryItems: opt.MemoryItems})
+	}), opt.sortConfig())
 	in.Free()
 	return b.FinishPacked(packSortedLeaves(b, sorted))
 }

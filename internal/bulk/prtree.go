@@ -28,7 +28,7 @@ func PRTree(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree
 		return b.FinishEmpty()
 	}
 	disk := pager.Disk()
-	cfg := pseudo.ExternalConfig{B: opt.Fanout, M: opt.MemoryItems}
+	cfg := pseudo.ExternalConfig{B: opt.Fanout, M: opt.MemoryItems, Workers: opt.Parallelism}
 
 	cur := in
 	level := 0

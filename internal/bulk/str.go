@@ -26,7 +26,7 @@ func STR(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
 	byX := extsort.Sort(disk, in, extsort.UintKey(func(it geom.Item) uint64 {
 		cx, _ := it.Rect.Center()
 		return extsort.Float64Key(cx)
-	}), extsort.Config{MemoryItems: opt.MemoryItems})
+	}), opt.sortConfig())
 	in.Free()
 
 	nLeaves := (n + opt.Fanout - 1) / opt.Fanout
@@ -45,7 +45,7 @@ func STR(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
 		byY := extsort.Sort(disk, slab, extsort.UintKey(func(it geom.Item) uint64 {
 			_, cy := it.Rect.Center()
 			return extsort.Float64Key(cy)
-		}), extsort.Config{MemoryItems: opt.MemoryItems})
+		}), opt.sortConfig())
 		slab.Free()
 		leaves = append(leaves, packSortedLeaves(b, byY)...)
 	}

@@ -30,9 +30,15 @@ func TGS(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
 	}
 	disk := pager.Disk()
 	var lists [4]*storage.ItemFile
-	for d := 0; d < 4; d++ {
-		lists[d] = extsort.Sort(disk, in, extsort.AxisKey(d), extsort.Config{MemoryItems: opt.MemoryItems})
-	}
+	// The four orderings are independent; with Parallelism > 1 they sort
+	// concurrently (identical I/O counts — each sort performs its serial
+	// reads and writes regardless of interleaving), each inner sort
+	// taking a quarter of the worker budget.
+	scfg := opt.sortConfig()
+	scfg.Workers = (opt.Parallelism + 3) / 4
+	extsort.Parallel(opt.Parallelism, 4, func(d int) {
+		lists[d] = extsort.Sort(disk, in, extsort.AxisKey(d), scfg)
+	})
 	in.Free()
 	t := &tgsBuilder{disk: disk, b: b, fanout: opt.Fanout}
 	h := tgsHeight(n, opt.Fanout)

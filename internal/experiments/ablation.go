@@ -97,7 +97,7 @@ func AblationPriority(cfg Config) Table {
 	for _, set := range sets {
 		with := buildFromPseudo(set.items, 113, true, true)
 		without := buildFromPseudo(set.items, 113, false, true)
-		h := buildTree(bulk.LoaderHilbert, set.items, bulk.Options{MemoryItems: cfg.MemoryItems})
+		h := buildTree(bulk.LoaderHilbert, set.items, cfg.bulkOptions())
 		cw := measureQueries(with, set.queries)
 		cwo := measureQueries(without, set.queries)
 		ch := measureQueries(h.tree, set.queries)
@@ -167,7 +167,7 @@ func AblationCache(cfg Config) Table {
 		disk := storage.NewDisk(storage.DefaultBlockSize)
 		pager := storage.NewPager(disk, 0)
 		in := storage.NewItemFileFrom(disk, items)
-		tr := bulk.Load(bulk.LoaderPR, pager, in, bulk.Options{MemoryItems: cfg.MemoryItems})
+		tr := bulk.Load(bulk.LoaderPR, pager, in, cfg.bulkOptions())
 		name := "no cache"
 		if pin {
 			tr.PinInternal()

@@ -31,8 +31,17 @@ type Config struct {
 	Queries int
 	// MemoryItems is the bulk-loading memory budget M in records.
 	MemoryItems int
+	// Workers bounds the bulk-load pipeline's parallelism (0 or 1 =
+	// serial). Block-I/O counts — the quantity every figure plots — are
+	// identical at any setting; only wall-clock changes.
+	Workers int
 	// Seed drives every generator.
 	Seed int64
+}
+
+// bulkOptions returns the loader options every experiment shares.
+func (c Config) bulkOptions() bulk.Options {
+	return bulk.Options{MemoryItems: c.MemoryItems, Parallelism: c.Workers}
 }
 
 func (c Config) normalized() Config {

@@ -16,7 +16,7 @@ func Fig9(cfg Config) Table {
 	cfg = cfg.normalized()
 	east := dataset.Eastern(cfg.n(120000), cfg.Seed)
 	west := dataset.Western(cfg.n(120000), cfg.Seed)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "fig9",
 		Title:   "Bulk-loading performance on TIGER-like data (I/Os and seconds)",
@@ -41,7 +41,7 @@ func Fig9(cfg Config) Table {
 func Fig10(cfg Config) Table {
 	cfg = cfg.normalized()
 	regions := dataset.EasternRegions(cfg.n(120000), cfg.Seed)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:    "fig10",
 		Title: "Bulk-loading I/Os vs dataset size (Eastern prefixes)",
@@ -67,7 +67,7 @@ func Fig10(cfg Config) Table {
 func Fig11(cfg Config) Table {
 	cfg = cfg.normalized()
 	n := cfg.n(60000)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "fig11",
 		Title:   "TGS bulk-loading cost across synthetic distributions",
@@ -91,7 +91,7 @@ func Fig11(cfg Config) Table {
 // queryFigure is the shared engine of Figures 12-14: build all four trees
 // once per dataset and measure square-window query cost.
 func queryFigure(id, title string, cfg Config, items []geom.Item, areas []float64) Table {
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	world := geom.ItemsMBR(items)
 	t := Table{
 		ID:      id,
@@ -145,7 +145,7 @@ func Fig13(cfg Config) Table {
 func Fig14(cfg Config) Table {
 	cfg = cfg.normalized()
 	regions := dataset.EasternRegions(cfg.n(120000), cfg.Seed)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "fig14",
 		Title:   "Query cost (1% squares) vs dataset size, Eastern prefixes",
@@ -178,7 +178,7 @@ func Fig14(cfg Config) Table {
 func Fig15Size(cfg Config) Table {
 	cfg = cfg.normalized()
 	n := cfg.n(100000)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "fig15size",
 		Title:   "Query cost on SIZE(max_side), 1% squares (100% = T/B)",
@@ -211,7 +211,7 @@ func Fig15Size(cfg Config) Table {
 func Fig15Aspect(cfg Config) Table {
 	cfg = cfg.normalized()
 	n := cfg.n(100000)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "fig15aspect",
 		Title:   "Query cost on ASPECT(a), 1% squares (100% = T/B)",
@@ -244,7 +244,7 @@ func Fig15Aspect(cfg Config) Table {
 func Fig15Skewed(cfg Config) Table {
 	cfg = cfg.normalized()
 	n := cfg.n(100000)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "fig15skewed",
 		Title:   "Query cost on SKEWED(c), skewed 1% squares (100% = T/B)",

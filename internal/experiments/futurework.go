@@ -36,7 +36,7 @@ func FutureWorkUpdates(cfg Config) Table {
 
 	base := dataset.Eastern(n, cfg.Seed)
 	queries := workload.Squares(geom.ItemsMBR(base), 0.01, cfg.Queries, cfg.Seed)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 
 	// Two dynamically updated trees over the same evolving item set.
 	guttman := bulk.FromItems(bulk.LoaderPR,

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"prtree/internal/bulk"
 	"prtree/internal/dataset"
 	"prtree/internal/geom"
 	"prtree/internal/pseudo"
@@ -19,7 +18,7 @@ func Table1(cfg Config) Table {
 	n := cfg.n(200000)
 	clOpt := dataset.ClusterOptions{}
 	items := dataset.Cluster(n, clOpt, cfg.Seed)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "table1",
 		Title:   "CLUSTER dataset with skinny horizontal probes (paper Table 1)",
@@ -52,7 +51,7 @@ func Theorem3(cfg Config) Table {
 	n := cfg.n(100000)
 	b := 113
 	items := dataset.WorstCase(n, b)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "theorem3",
 		Title:   "Theorem 3 worst-case grid, zero-output line queries",
@@ -125,7 +124,7 @@ func Lemma2Check(cfg Config) Table {
 func Utilization(cfg Config) Table {
 	cfg = cfg.normalized()
 	items := dataset.Eastern(cfg.n(120000), cfg.Seed)
-	opt := bulk.Options{MemoryItems: cfg.MemoryItems}
+	opt := cfg.bulkOptions()
 	t := Table{
 		ID:      "utilization",
 		Title:   "Space utilization after bulk-loading (Eastern TIGER-like)",

@@ -3,13 +3,23 @@ package extsort
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"prtree/internal/geom"
 	"prtree/internal/storage"
 )
+
+// allowParallelism raises GOMAXPROCS so the worker pool actually fans out
+// even on single-CPU machines (Workers is clamped to GOMAXPROCS). Returns
+// a restore function.
+func allowParallelism() func() {
+	old := runtime.GOMAXPROCS(4)
+	return func() { runtime.GOMAXPROCS(old) }
+}
 
 func randItems(n int, seed int64) []geom.Item {
 	rng := rand.New(rand.NewSource(seed))
@@ -224,6 +234,144 @@ func TestSortFreesIntermediateRuns(t *testing.T) {
 	}
 }
 
+// rawBytes concatenates a sealed file's encoded blocks without counting
+// I/O, for byte-level comparisons.
+func rawBytes(d *storage.Disk, f *storage.ItemFile) []byte {
+	var out []byte
+	r := f.Reader()
+	for {
+		rec, ok := r.NextRaw()
+		if !ok {
+			return out
+		}
+		out = append(out, rec...)
+	}
+}
+
+// TestSortSerialParallelEquivalence is the determinism property test: for
+// every (seed, memory budget, worker count) the parallel sort must produce
+// byte-identical output and identical disk read/write counters to the
+// serial sort of the same input.
+func TestSortSerialParallelEquivalence(t *testing.T) {
+	defer allowParallelism()()
+	per := storage.ItemsPerBlock(storage.DefaultBlockSize)
+	keys := map[string]KeyFunc{
+		"axis0": AxisKey(0),
+		"rev3":  ReverseAxisKey(3),
+		"uint":  UintKey(func(it geom.Item) uint64 { return uint64(it.ID) % 97 }),
+	}
+	for _, seed := range []int64{1, 7} {
+		for _, n := range []int{1, per * 2, 5000, 20011} {
+			items := randItems(n, seed)
+			for _, mem := range []int{3 * per, 8 * per, 4096} {
+				for name, key := range keys {
+					// Serial reference.
+					ds := storage.NewDisk(storage.DefaultBlockSize)
+					ins := storage.NewItemFileFrom(ds, items)
+					ds.ResetStats()
+					outS := Sort(ds, ins, key, Config{MemoryItems: mem, Workers: 1})
+					statS := ds.Stats()
+					bytesS := rawBytes(ds, outS)
+
+					for _, workers := range []int{2, 3, 8} {
+						dp := storage.NewDisk(storage.DefaultBlockSize)
+						inp := storage.NewItemFileFrom(dp, items)
+						dp.ResetStats()
+						outP := Sort(dp, inp, key, Config{MemoryItems: mem, Workers: workers})
+						statP := dp.Stats()
+						if statP != statS {
+							t.Fatalf("seed=%d n=%d mem=%d key=%s workers=%d: stats %v != serial %v",
+								seed, n, mem, name, workers, statP, statS)
+						}
+						if outP.Blocks() != outS.Blocks() {
+							t.Fatalf("seed=%d n=%d mem=%d key=%s workers=%d: %d blocks != serial %d",
+								seed, n, mem, name, workers, outP.Blocks(), outS.Blocks())
+						}
+						bytesP := rawBytes(dp, outP)
+						if string(bytesP) != string(bytesS) {
+							t.Fatalf("seed=%d n=%d mem=%d key=%s workers=%d: output bytes differ from serial",
+								seed, n, mem, name, workers)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortReleasesScratchPages enforces the "intermediate runs are freed"
+// contract: after a multi-pass sort the disk must hold exactly the input
+// and output pages, at every worker count, and freeing both must return
+// the disk to empty.
+func TestSortReleasesScratchPages(t *testing.T) {
+	defer allowParallelism()()
+	per := storage.ItemsPerBlock(storage.DefaultBlockSize)
+	for _, workers := range []int{1, 4} {
+		d := storage.NewDisk(storage.DefaultBlockSize)
+		items := randItems(per*20+17, 9)
+		in := storage.NewItemFileFrom(d, items)
+		// Tiny memory: fan-in 2, three merge passes over 7 runs.
+		out := Sort(d, in, AxisKey(0), Config{MemoryItems: 3 * per, Workers: workers})
+		if got, want := d.PagesInUse(), in.Blocks()+out.Blocks(); got != want {
+			t.Errorf("workers=%d: %d pages in use after sort, want input+output = %d", workers, got, want)
+		}
+		out.Free()
+		in.Free()
+		if got := d.PagesInUse(); got != 0 {
+			t.Errorf("workers=%d: %d pages still in use after freeing input and output", workers, got)
+		}
+	}
+}
+
+// TestSortKeyedMatchesStdSort cross-checks the radix sort against the
+// standard library on keys with heavy duplication in Main (exercising the
+// Tie digits and pass skipping).
+func TestSortKeyedMatchesStdSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 2, radixMinN - 1, radixMinN, 1000, 10000} {
+		a := make([]keyedItem, n)
+		for i := range a {
+			a[i] = keyedItem{
+				key:  Key{Main: uint64(rng.Intn(8)) << 40, Tie: uint32(rng.Uint64())},
+				item: geom.Item{ID: uint32(i)},
+			}
+		}
+		ref := make([]keyedItem, n)
+		copy(ref, a)
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].key.Less(ref[j].key) })
+		got := sortKeyed(a, make([]keyedItem, n))
+		for i := range got {
+			if got[i].key != ref[i].key {
+				t.Fatalf("n=%d: mismatch at %d: %+v != %+v", n, i, got[i].key, ref[i].key)
+			}
+		}
+	}
+}
+
+func TestParallelHelper(t *testing.T) {
+	defer allowParallelism()()
+	hits := make([]int32, 1000)
+	Parallel(8, len(hits), func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d run %d times", i, h)
+		}
+	}
+	// Serial fallback.
+	Parallel(1, 10, func(i int) { hits[i]++ })
+	// Panic propagation.
+	defer func() {
+		if recover() == nil {
+			t.Error("worker panic not propagated")
+		}
+	}()
+	Parallel(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
 func TestSortTinyMemoryPanics(t *testing.T) {
 	d := storage.NewDisk(storage.DefaultBlockSize)
 	in := storage.NewItemFileFrom(d, randItems(10, 10))
@@ -250,5 +398,36 @@ func TestSortItemsMatchesStdSort(t *testing.T) {
 		if items[i] != ref[i] {
 			t.Fatalf("mismatch at %d", i)
 		}
+	}
+}
+
+// TestSortParallelWorkerPanicPropagates: a panicking KeyFunc must surface
+// on the caller's goroutine even with the pipeline engaged — the panic
+// path recycles chunk buffers, so the reader can never starve into a
+// deadlock. A regression here shows up as this test timing out.
+func TestSortParallelWorkerPanicPropagates(t *testing.T) {
+	defer allowParallelism()()
+	per := storage.ItemsPerBlock(storage.DefaultBlockSize)
+	d := storage.NewDisk(storage.DefaultBlockSize)
+	// Many more runs than buffers so the reader must wait on recycling.
+	in := storage.NewItemFileFrom(d, randItems(per*200, 12))
+	poison := func(it geom.Item) Key {
+		if it.ID == 5000 {
+			panic("poisoned key")
+		}
+		return Key{Main: uint64(it.ID)}
+	}
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Sort(d, in, poison, Config{MemoryItems: 3 * per, Workers: 4})
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Sort deadlocked instead of propagating the worker panic")
 	}
 }

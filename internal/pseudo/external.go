@@ -14,6 +14,14 @@ import (
 type ExternalConfig struct {
 	B int // leaf capacity (records per block)
 	M int // records that fit in main memory
+	// Workers bounds the construction's parallelism (clamped to
+	// GOMAXPROCS; zero or one means serial): the grid stage's four axis
+	// sorts run concurrently — each inner sort receiving a quarter of the
+	// budget — and each sort parallelizes its run formation and merge
+	// groups. Block-I/O counts and the emitted leaf groups are identical
+	// at every worker count; the axis-sort phase temporarily holds up to
+	// about (Workers+4)*M records of chunk buffers instead of M.
+	Workers int
 }
 
 // BuildExternal partitions the rectangles of in into pseudo-PR-tree leaf
@@ -42,13 +50,26 @@ func BuildExternal(disk *storage.Disk, in *storage.ItemFile, cfg ExternalConfig,
 		emitInMemory(items, cfg.B, emit)
 		return
 	}
-	var lists [4]*storage.ItemFile
-	for d := 0; d < 4; d++ {
-		lists[d] = extsort.Sort(disk, in, extsort.AxisKey(d), extsort.Config{MemoryItems: cfg.M})
-	}
+	lists := sortAxes(disk, in, cfg)
 	in.Free()
 	e := &externalBuilder{disk: disk, cfg: cfg, emit: emit}
 	e.recurse(lists, 0)
+}
+
+// sortAxes produces the four corner-transform orderings of in. With
+// Workers > 1 the four sorts run concurrently; each sort's reads and
+// writes are those of its serial execution, so the total block-I/O count
+// is unchanged.
+func sortAxes(disk *storage.Disk, in *storage.ItemFile, cfg ExternalConfig) [4]*storage.ItemFile {
+	var lists [4]*storage.ItemFile
+	// Four sorts run concurrently, so each inner sort gets a quarter of
+	// the worker budget: total goroutines and transient chunk memory stay
+	// proportional to Workers, not 4x it.
+	scfg := extsort.Config{MemoryItems: cfg.M, Workers: (cfg.Workers + 3) / 4}
+	extsort.Parallel(cfg.Workers, 4, func(d int) {
+		lists[d] = extsort.Sort(disk, in, extsort.AxisKey(d), scfg)
+	})
+	return lists
 }
 
 func emitInMemory(items []geom.Item, b int, emit func(LeafGroup)) {

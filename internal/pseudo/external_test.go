@@ -3,6 +3,7 @@ package pseudo
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"prtree/internal/geom"
@@ -229,5 +230,51 @@ func TestExternalEmptyInput(t *testing.T) {
 		func(LeafGroup) { calls++ })
 	if calls != 0 {
 		t.Errorf("empty input emitted %d groups", calls)
+	}
+}
+
+// allowParallelism raises GOMAXPROCS so the worker pool actually fans out
+// even on single-CPU machines (workers are clamped to GOMAXPROCS).
+func allowParallelism() func() {
+	old := runtime.GOMAXPROCS(4)
+	return func() { runtime.GOMAXPROCS(old) }
+}
+
+// TestExternalSerialParallelEquivalence: the grid construction must emit
+// the same leaf groups in the same order, with identical block-I/O counts,
+// at every worker count.
+func TestExternalSerialParallelEquivalence(t *testing.T) {
+	defer allowParallelism()()
+	items := randItems(12000, 3)
+	run := func(workers int) (groups []LeafGroup, st storage.Stats) {
+		d := storage.NewDisk(storage.DefaultBlockSize)
+		in := storage.NewItemFileFrom(d, items)
+		d.ResetStats()
+		BuildExternal(d, in, ExternalConfig{B: 16, M: 1024, Workers: workers}, func(lg LeafGroup) {
+			cp := LeafGroup{Items: append([]geom.Item(nil), lg.Items...), Priority: lg.Priority, Dir: lg.Dir}
+			groups = append(groups, cp)
+		})
+		return groups, d.Stats()
+	}
+	sGroups, sStats := run(1)
+	for _, workers := range []int{2, 4} {
+		pGroups, pStats := run(workers)
+		if pStats != sStats {
+			t.Fatalf("workers=%d: stats %v != serial %v", workers, pStats, sStats)
+		}
+		if len(pGroups) != len(sGroups) {
+			t.Fatalf("workers=%d: %d groups != serial %d", workers, len(pGroups), len(sGroups))
+		}
+		for i := range pGroups {
+			p, s := pGroups[i], sGroups[i]
+			if p.Priority != s.Priority || p.Dir != s.Dir || len(p.Items) != len(s.Items) {
+				t.Fatalf("workers=%d: group %d header differs", workers, i)
+			}
+			for j := range p.Items {
+				if p.Items[j] != s.Items[j] {
+					t.Fatalf("workers=%d: group %d item %d differs", workers, i, j)
+				}
+			}
+		}
 	}
 }

@@ -10,7 +10,11 @@
 // paper's.
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultBlockSize is the paper's disk block size: 4 KB, which holds 113
 // 36-byte rectangle entries.
@@ -45,11 +49,23 @@ func (s Stats) String() string {
 // Disk is a simulated block device: an array of blockSize-byte pages with
 // an allocation freelist and I/O counters. The zero value is not usable;
 // call NewDisk.
+//
+// A Disk is safe for concurrent use by multiple goroutines: allocation and
+// the freelist are mutex-protected and the I/O counters are atomic, so
+// concurrent producers (e.g. the parallel bulk-load pipeline's sort
+// workers) see the same counter totals as a serial execution of the same
+// operations. Individual pages are not synchronized — each page must have
+// a single writer at a time, and a page's bytes must not be read after it
+// is Freed; files uphold this by owning their pages.
 type Disk struct {
 	blockSize int
-	pages     [][]byte
-	free      []PageID
-	stats     Stats
+
+	mu    sync.RWMutex // guards pages and free slice headers
+	pages [][]byte
+	free  []PageID
+
+	reads  atomic.Uint64
+	writes atomic.Uint64
 }
 
 // NewDisk returns an empty disk with the given block size.
@@ -66,6 +82,8 @@ func (d *Disk) BlockSize() int { return d.blockSize }
 // Alloc reserves a page and returns its id. The page contents are zeroed.
 // Allocation itself is not counted as I/O; the subsequent Write is.
 func (d *Disk) Alloc() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
@@ -80,57 +98,78 @@ func (d *Disk) Alloc() PageID {
 
 // Free returns a page to the freelist. Freeing is not counted as I/O.
 func (d *Disk) Free(id PageID) {
-	d.checkID(id)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkIDLocked(id)
 	d.free = append(d.free, id)
+}
+
+// page returns the backing slice of page id; the per-page slice never moves
+// once allocated, so callers may use it after the lock is released under
+// the single-writer / no-use-after-Free contract.
+func (d *Disk) page(id PageID) []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.checkIDLocked(id)
+	return d.pages[id]
 }
 
 // Write stores data into page id, counting one block write. data must not
 // exceed the block size; shorter data leaves the page tail untouched.
 func (d *Disk) Write(id PageID, data []byte) {
-	d.checkID(id)
 	if len(data) > d.blockSize {
 		panic(fmt.Sprintf("storage: write of %d bytes exceeds block size %d", len(data), d.blockSize))
 	}
-	copy(d.pages[id], data)
-	d.stats.Writes++
+	copy(d.page(id), data)
+	d.writes.Add(1)
 }
 
 // Read copies page id into buf (which must hold at least BlockSize bytes),
 // counting one block read, and returns the number of bytes copied.
 func (d *Disk) Read(id PageID, buf []byte) int {
-	d.checkID(id)
-	d.stats.Reads++
-	return copy(buf, d.pages[id])
+	d.reads.Add(1)
+	return copy(buf, d.page(id))
 }
 
 // ReadNoCopy returns the page's backing slice without copying, counting one
 // block read. The caller must treat the result as read-only.
 func (d *Disk) ReadNoCopy(id PageID) []byte {
-	d.checkID(id)
-	d.stats.Reads++
-	return d.pages[id]
+	d.reads.Add(1)
+	return d.page(id)
 }
 
 // PeekNoCopy returns the page contents without counting I/O. It exists for
 // test assertions and cache internals; algorithm code must use Read.
 func (d *Disk) PeekNoCopy(id PageID) []byte {
-	d.checkID(id)
-	return d.pages[id]
+	return d.page(id)
 }
 
 // Stats returns the cumulative I/O counters.
-func (d *Disk) Stats() Stats { return d.stats }
+func (d *Disk) Stats() Stats {
+	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load()}
+}
 
 // ResetStats zeroes the I/O counters.
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+func (d *Disk) ResetStats() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+}
 
 // NumPages returns the number of pages ever allocated (including freed ones).
-func (d *Disk) NumPages() int { return len(d.pages) }
+func (d *Disk) NumPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages)
+}
 
 // PagesInUse returns allocated minus freed pages.
-func (d *Disk) PagesInUse() int { return len(d.pages) - len(d.free) }
+func (d *Disk) PagesInUse() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages) - len(d.free)
+}
 
-func (d *Disk) checkID(id PageID) {
+func (d *Disk) checkIDLocked(id PageID) {
 	if int(id) >= len(d.pages) {
 		panic(fmt.Sprintf("storage: page %d out of range (have %d pages)", id, len(d.pages)))
 	}

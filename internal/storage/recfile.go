@@ -115,6 +115,60 @@ func (f *ItemFile) Append(it geom.Item) {
 	}
 }
 
+// AppendRaw adds one pre-encoded record (the first ItemSize bytes of rec)
+// to the end of the file without a decode/encode round trip. It panics
+// after Seal.
+func (f *ItemFile) AppendRaw(rec []byte) {
+	if f.sealed {
+		panic("storage: append to sealed ItemFile")
+	}
+	copy(f.wbuf[f.wcount*ItemSize:], rec[:ItemSize])
+	f.wcount++
+	f.n++
+	if f.wcount == f.perBlock {
+		f.flush()
+	}
+}
+
+// AppendRawBlock adds count pre-encoded records stored contiguously at the
+// start of block. When the write buffer is empty and the block is full, the
+// bytes go to a fresh page in a single write — the whole-block transfer the
+// external merge uses to copy runs without touching individual records.
+// The I/O count is the same as appending the records one at a time.
+func (f *ItemFile) AppendRawBlock(block []byte, count int) {
+	if f.sealed {
+		panic("storage: append to sealed ItemFile")
+	}
+	if count*ItemSize > len(block) {
+		panic(fmt.Sprintf("storage: raw block of %d bytes holds fewer than %d records", len(block), count))
+	}
+	if f.wcount == 0 && count == f.perBlock {
+		id := f.disk.Alloc()
+		f.disk.Write(id, block[:count*ItemSize])
+		f.pages = append(f.pages, id)
+		f.n += count
+		return
+	}
+	for i := 0; i < count; i++ {
+		f.AppendRaw(block[i*ItemSize:])
+	}
+}
+
+// RawBlock returns the encoded bytes of the file's b-th block and the
+// number of records they hold, counting one block read. The returned slice
+// aliases the page and must be treated as read-only; it stays valid until
+// the file is freed. The file must be sealed.
+func (f *ItemFile) RawBlock(b int) (data []byte, count int) {
+	if !f.sealed {
+		panic("storage: RawBlock on unsealed ItemFile")
+	}
+	count = f.perBlock
+	if b == len(f.pages)-1 {
+		count = f.n - b*f.perBlock
+	}
+	return f.disk.ReadNoCopy(f.pages[b])[:count*ItemSize], count
+}
+
 // Seal flushes the final partial block and freezes the file for reading.
 // Sealing an already sealed file is a no-op.
 func (f *ItemFile) Seal() {
@@ -184,6 +238,23 @@ func (r *ItemReader) Next() (it geom.Item, ok bool) {
 	off := (r.pos % r.f.perBlock) * ItemSize
 	r.pos++
 	return DecodeItem(r.buf[off:]), true
+}
+
+// NextRaw returns the next record's encoded bytes without decoding,
+// aliasing the underlying page (read-only, valid until the file is freed).
+// ok is false at end of file.
+func (r *ItemReader) NextRaw() (rec []byte, ok bool) {
+	if r.pos >= r.f.n {
+		return nil, false
+	}
+	b := r.pos / r.f.perBlock
+	if b != r.block {
+		r.buf = r.f.disk.ReadNoCopy(r.f.pages[b])
+		r.block = b
+	}
+	off := (r.pos % r.f.perBlock) * ItemSize
+	r.pos++
+	return r.buf[off : off+ItemSize], true
 }
 
 // Seek positions the reader at global record index pos. The block holding

@@ -186,3 +186,100 @@ func TestItemFilePartialBlock(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendRawMatchesAppend(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	a, b := NewItemFile(d), NewItemFile(d)
+	var rec [ItemSize]byte
+	for i := 0; i < 300; i++ {
+		it := geom.Item{Rect: geom.NewRect(float64(i), 0, float64(i)+1, 2), ID: uint32(i)}
+		a.Append(it)
+		EncodeItem(rec[:], it)
+		b.AppendRaw(rec[:])
+	}
+	a.Seal()
+	b.Seal()
+	ga, gb := a.ReadAll(), b.ReadAll()
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("record %d differs: %+v != %+v", i, ga[i], gb[i])
+		}
+	}
+}
+
+func TestRawBlockAndAppendRawBlockCopy(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	per := ItemsPerBlock(DefaultBlockSize)
+	n := per*2 + 5 // two full blocks plus a partial tail
+	src := NewItemFile(d)
+	for i := 0; i < n; i++ {
+		src.Append(geom.Item{Rect: geom.NewRect(0, 0, 1, 1), ID: uint32(i)})
+	}
+	src.Seal()
+	d.ResetStats()
+	dst := NewItemFile(d)
+	for b := 0; b < src.Blocks(); b++ {
+		data, count := src.RawBlock(b)
+		dst.AppendRawBlock(data, count)
+	}
+	dst.Seal()
+	// Whole-block copy must cost exactly the same I/O as a record copy:
+	// one read and one write per block.
+	st := d.Stats()
+	if st.Reads != uint64(src.Blocks()) || st.Writes != uint64(src.Blocks()) {
+		t.Errorf("copy cost %v, want %d reads and writes", st, src.Blocks())
+	}
+	got := dst.ReadAll()
+	if len(got) != n {
+		t.Fatalf("copied %d of %d records", len(got), n)
+	}
+	for i, it := range got {
+		if it.ID != uint32(i) {
+			t.Fatalf("record %d: id %d", i, it.ID)
+		}
+	}
+}
+
+func TestAppendRawBlockIntoPartialBuffer(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	per := ItemsPerBlock(DefaultBlockSize)
+	src := NewItemFile(d)
+	for i := 0; i < per; i++ {
+		src.Append(geom.Item{Rect: geom.NewRect(0, 0, 1, 1), ID: uint32(i)})
+	}
+	src.Seal()
+	dst := NewItemFile(d)
+	dst.Append(geom.Item{Rect: geom.NewRect(0, 0, 1, 1), ID: 9999}) // misalign
+	data, count := src.RawBlock(0)
+	dst.AppendRawBlock(data, count)
+	dst.Seal()
+	got := dst.ReadAll()
+	if len(got) != per+1 || got[0].ID != 9999 || got[1].ID != 0 || got[per].ID != uint32(per-1) {
+		t.Fatalf("misaligned raw block append corrupted the file (len %d)", len(got))
+	}
+}
+
+func TestNextRawMatchesNext(t *testing.T) {
+	d := NewDisk(DefaultBlockSize)
+	per := ItemsPerBlock(DefaultBlockSize)
+	f := NewItemFile(d)
+	n := per + 13
+	for i := 0; i < n; i++ {
+		f.Append(geom.Item{Rect: geom.NewRect(float64(i), 1, float64(i)+2, 3), ID: uint32(i)})
+	}
+	f.Seal()
+	ra, rb := f.Reader(), f.Reader()
+	for {
+		it, ok1 := ra.Next()
+		rec, ok2 := rb.NextRaw()
+		if ok1 != ok2 {
+			t.Fatal("readers disagree on EOF")
+		}
+		if !ok1 {
+			break
+		}
+		if DecodeItem(rec) != it {
+			t.Fatalf("raw record decodes to %+v, want %+v", DecodeItem(rec), it)
+		}
+	}
+}

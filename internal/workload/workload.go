@@ -11,17 +11,29 @@ import (
 	"prtree/internal/geom"
 )
 
+// clampExtent limits a probe dimension to [0, max]: an oversized probe
+// would make the random-offset range max-extent negative, placing queries
+// outside the world (and, for NaN-producing inputs, degenerate rects).
+// The clamp happens before any offset is drawn so the RNG stream stays
+// well-defined.
+func clampExtent(extent, max float64) float64 {
+	if !(extent > 0) { // also catches NaN
+		return 0
+	}
+	if extent > max {
+		return max
+	}
+	return extent
+}
+
 // Squares returns count square queries of area areaFrac*Area(world) whose
-// positions are uniform with the square fully inside world.
+// positions are uniform with the square fully inside world. A side larger
+// than either world extent is clamped to it, so every query lies inside
+// world even for areaFrac near or above 1.
 func Squares(world geom.Rect, areaFrac float64, count int, seed int64) []geom.Rect {
 	rng := rand.New(rand.NewSource(seed))
 	side := math.Sqrt(areaFrac * world.Area())
-	if side > world.Width() {
-		side = world.Width()
-	}
-	if side > world.Height() {
-		side = world.Height()
-	}
+	side = clampExtent(side, math.Min(world.Width(), world.Height()))
 	out := make([]geom.Rect, count)
 	for i := range out {
 		x := world.MinX + rng.Float64()*(world.Width()-side)
@@ -36,7 +48,7 @@ func Squares(world geom.Rect, areaFrac float64, count int, seed int64) []geom.Re
 // (x, y^c), so the output size stays roughly constant (Figure 15, right).
 func SkewedSquares(areaFrac float64, c, count int, seed int64) []geom.Rect {
 	rng := rand.New(rand.NewSource(seed))
-	side := math.Sqrt(areaFrac)
+	side := clampExtent(math.Sqrt(areaFrac), 1)
 	out := make([]geom.Rect, count)
 	for i := range out {
 		x := rng.Float64() * (1 - side)
@@ -50,9 +62,12 @@ func SkewedSquares(areaFrac float64, c, count int, seed int64) []geom.Rect {
 }
 
 // HorizontalLines returns thin horizontal probes of the given height with
-// random vertical positions inside world, spanning its full width.
+// random vertical positions inside world, spanning its full width. A
+// height exceeding the world's is clamped to it (previously the offset
+// range went negative and probes escaped the world).
 func HorizontalLines(world geom.Rect, height float64, count int, seed int64) []geom.Rect {
 	rng := rand.New(rand.NewSource(seed))
+	height = clampExtent(height, world.Height())
 	out := make([]geom.Rect, count)
 	for i := range out {
 		y := world.MinY + rng.Float64()*(world.Height()-height)

@@ -96,3 +96,42 @@ func TestHorizontalLines(t *testing.T) {
 		}
 	}
 }
+
+func TestHorizontalLinesOversizedHeightClamps(t *testing.T) {
+	world := geom.NewRect(0, 0, 10, 1)
+	// Height beyond the world extent used to make the offset range
+	// negative, pushing probes below MinY; it must clamp to the world.
+	for _, h := range []float64{1.0, 2.5, 100} {
+		for _, q := range HorizontalLines(world, h, 50, 6) {
+			if !world.Contains(q) {
+				t.Fatalf("height %g: probe %v escapes world", h, q)
+			}
+			if !q.Valid() {
+				t.Fatalf("height %g: inverted probe %v", h, q)
+			}
+		}
+	}
+}
+
+func TestSquaresOversizedSideClamps(t *testing.T) {
+	world := geom.NewRect(-3, 2, 5, 2.5)
+	for _, frac := range []float64{1.0, 4.0, 1000} {
+		for _, q := range Squares(world, frac, 50, 7) {
+			if !world.Contains(q) {
+				t.Fatalf("areaFrac %g: query %v escapes world", frac, q)
+			}
+			if !q.Valid() {
+				t.Fatalf("areaFrac %g: inverted query %v", frac, q)
+			}
+		}
+	}
+}
+
+func TestSkewedSquaresOversizedAreaClamps(t *testing.T) {
+	unit := geom.NewRect(0, 0, 1, 1)
+	for _, q := range SkewedSquares(9.0, 3, 50, 8) {
+		if !unit.Contains(q) {
+			t.Fatalf("query %v escapes unit square", q)
+		}
+	}
+}

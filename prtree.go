@@ -92,6 +92,10 @@ type Options struct {
 	// Update selects the dynamic-update heuristic for Insert/Delete
 	// (default GuttmanQuadratic).
 	Update UpdateHeuristic
+	// Parallelism bounds the bulk-load pipeline's worker pool (clamped
+	// to GOMAXPROCS; 0 or 1 means serial). The built tree and the
+	// simulated disk's I/O counts are identical at every setting.
+	Parallelism int
 }
 
 func (o *Options) normalized() Options {
@@ -128,6 +132,7 @@ func BulkWith(l Loader, items []Item, opts *Options) *Tree {
 		Fanout:      o.Fanout,
 		MemoryItems: o.MemoryItems,
 		Split:       o.Update,
+		Parallelism: o.Parallelism,
 	})
 	return &Tree{inner: tr, disk: disk}
 }
