@@ -12,6 +12,7 @@ package prtree
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"prtree/internal/bulk"
@@ -232,6 +233,53 @@ func BenchmarkPRBulkLoadExternalParallel(b *testing.B) {
 	for _, w := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			benchBuildOpt(b, bulk.LoaderPR, items, bulk.Options{MemoryItems: benchMem, Parallelism: w})
+		})
+	}
+}
+
+// BenchmarkQueryBatch measures batch window-query throughput on the Fig12
+// workload (PR-loaded Western data, 1% squares, internal nodes pinned on a
+// capacity-0 pager so every leaf visit is a counted disk read) at
+// increasing worker counts. Besides
+// wall time it reports queries/sec and blockIO/op, and FAILS if any
+// parallel run's aggregate block-I/O deviates from the serial run's — the
+// invariant the lock-striped pager's single-flight miss path guarantees.
+func BenchmarkQueryBatch(b *testing.B) {
+	// Let the pool fan out even when cores are scarce; on a multi-core
+	// machine this is a no-op beyond 8 and queries/sec scales with cores.
+	if runtime.GOMAXPROCS(0) < 8 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	}
+	items := dataset.Western(60000, 5)
+	world := geom.ItemsMBR(items)
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	pager := storage.NewPager(disk, 0) // leaf reads always hit the disk, as in the paper's setup
+	tree := bulk.FromItems(bulk.LoaderPR, pager, items, bulk.Options{MemoryItems: benchMem})
+	queries := workload.Squares(world, 0.01, 400, 6)
+	tree.PinInternal()
+	var serialIO uint64
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var lastIO uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				disk.ResetStats()
+				st := tree.QueryBatch(queries, w, nil)
+				lastIO = disk.Stats().Total()
+				if len(st) != len(queries) {
+					b.Fatal("lost queries")
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(lastIO), "blockIO/op")
+			b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			if w == 1 {
+				serialIO = lastIO
+			} else if serialIO != 0 && lastIO != serialIO {
+				// serialIO == 0 means the workers=1 sub-benchmark was
+				// filtered out, so there is no baseline to compare against.
+				b.Fatalf("workers=%d aggregate blockIO %d != serial %d", w, lastIO, serialIO)
+			}
 		})
 	}
 }

@@ -30,6 +30,7 @@ func main() {
 	queries := flag.Int("queries", 100, "window queries per measurement point")
 	mem := flag.Int("mem", 0, "bulk-loading memory budget in records (0 = default 65536)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "bulk-load parallelism (1 = serial; I/O counts are identical at any setting)")
+	qworkers := flag.Int("qworkers", runtime.GOMAXPROCS(0), "highest worker count the query-throughput sweep reaches (I/O counts are identical at any setting)")
 	seed := flag.Int64("seed", 2004, "generator seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -40,7 +41,7 @@ func main() {
 		"fig15size", "fig15aspect", "fig15skewed",
 		"table1", "theorem3", "lemma2", "utilization",
 		"ablation-priority", "ablation-roundb", "ablation-cache",
-		"futurework",
+		"futurework", "throughput",
 	}
 	if *list {
 		for _, id := range ids {
@@ -50,11 +51,12 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Scale:       *scale,
-		Queries:     *queries,
-		MemoryItems: *mem,
-		Workers:     *workers,
-		Seed:        *seed,
+		Scale:        *scale,
+		Queries:      *queries,
+		MemoryItems:  *mem,
+		Workers:      *workers,
+		QueryWorkers: *qworkers,
+		Seed:         *seed,
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -93,9 +95,10 @@ func main() {
 		"ablation-roundb":   experiments.AblationRoundToB,
 		"ablation-cache":    experiments.AblationCache,
 		"futurework":        experiments.FutureWorkUpdates,
+		"throughput":        experiments.QueryThroughput,
 	}
 
-	fmt.Printf("PR-tree reproduction suite (scale=%g queries=%d workers=%d seed=%d)\n\n", *scale, *queries, *workers, *seed)
+	fmt.Printf("PR-tree reproduction suite (scale=%g queries=%d workers=%d qworkers=%d seed=%d)\n\n", *scale, *queries, *workers, *qworkers, *seed)
 	total := time.Now()
 	for _, id := range ids {
 		if len(want) > 0 && !want[id] {

@@ -35,6 +35,10 @@ type Config struct {
 	// serial). Block-I/O counts — the quantity every figure plots — are
 	// identical at any setting; only wall-clock changes.
 	Workers int
+	// QueryWorkers is the highest worker count the query-throughput
+	// experiment sweeps to (0 = GOMAXPROCS). Aggregate block-I/O is
+	// identical at every setting; only queries/sec changes.
+	QueryWorkers int
 	// Seed drives every generator.
 	Seed int64
 }
@@ -239,5 +243,6 @@ func All(cfg Config) []Table {
 		AblationRoundToB(cfg),
 		AblationCache(cfg),
 		FutureWorkUpdates(cfg),
+		QueryThroughput(cfg),
 	}
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"prtree/internal/bulk"
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+	"prtree/internal/workload"
+)
+
+// QueryThroughput is the concurrent-serving experiment the paper never ran:
+// the Figure 12 workload (PR-loaded Western TIGER-like data, 1%-area square
+// windows, internal nodes pinned) executed through Tree.QueryBatch at
+// 1, 2, 4, ... workers up to Config.QueryWorkers. Each sweep point drops
+// the leaf cache, re-pins the internals and replays the same query batch,
+// so the reported aggregate block-I/O must be bit-identical across worker
+// counts — the lock-striped pager's single-flight guarantee — while
+// queries/sec scales with cores.
+func QueryThroughput(cfg Config) Table {
+	cfg = cfg.normalized()
+	maxWorkers := cfg.QueryWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	items := dataset.Western(cfg.n(120000), cfg.Seed)
+	world := geom.ItemsMBR(items)
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	// Capacity 0 reproduces the paper's measurement mode: with internals
+	// pinned, every leaf visit is one counted block read, so the sweep
+	// exercises the pager's concurrent miss path rather than a warm cache.
+	pager := storage.NewPager(disk, 0)
+	in := storage.NewItemFileFrom(disk, items)
+	tree := bulk.Load(bulk.LoaderPR, pager, in, cfg.bulkOptions())
+
+	// A bigger batch than one figure row: replicate the paper's query count
+	// across several seeds so each timing interval is long enough to trust.
+	batch := make([]geom.Rect, 0, 8*cfg.Queries)
+	for s := 0; s < 8; s++ {
+		batch = append(batch, workload.Squares(world, 0.01, cfg.Queries, cfg.Seed+int64(s))...)
+	}
+
+	t := Table{
+		ID:      "throughput",
+		Title:   "Concurrent query throughput, Fig12 workload (QueryBatch)",
+		Columns: []string{"workers", "queries/sec", "speedup", "aggregate blockIO", "vs serial"},
+		Notes:   "block-I/O must be bit-identical at every worker count (single-flight pager)",
+	}
+
+	// Sweep powers of two, always ending exactly at maxWorkers so the
+	// -qworkers setting is measured even when it is not a power of two.
+	sweep := []int{}
+	for w := 1; w < maxWorkers; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	sweep = append(sweep, maxWorkers)
+
+	var serialQPS float64
+	var serialIO uint64
+	for _, w := range sweep {
+		pager.DropCache()
+		tree.PinInternal()
+		disk.ResetStats()
+		start := time.Now()
+		tree.QueryBatch(batch, w, nil)
+		elapsed := time.Since(start)
+		io := disk.Stats().Total()
+		qps := float64(len(batch)) / elapsed.Seconds()
+		if w == 1 {
+			serialQPS, serialIO = qps, io
+		}
+		ioNote := "identical"
+		if io != serialIO {
+			ioNote = fmt.Sprintf("DIVERGED (%+d)", int64(io)-int64(serialIO))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.2fx", qps/serialQPS),
+			fmtInt(io),
+			ioNote,
+		})
+	}
+	return t
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestQueryThroughputIOIdentity runs the throughput sweep at a small scale
+// and checks the experiment's own invariant column: every worker count must
+// report block-I/O identical to serial.
+func TestQueryThroughputIOIdentity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	tab := QueryThroughput(Config{Scale: 0.05, Queries: 10, QueryWorkers: 4})
+	if tab.ID != "throughput" {
+		t.Fatalf("id = %q", tab.ID)
+	}
+	if len(tab.Rows) != 3 { // workers 1, 2, 4
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "identical" {
+			t.Errorf("workers=%s: block-I/O %s vs serial: %s", row[0], row[3], row[4])
+		}
+		if row[3] != tab.Rows[0][3] {
+			t.Errorf("workers=%s: aggregate blockIO %s, serial reported %s", row[0], row[3], tab.Rows[0][3])
+		}
+	}
+	if !strings.Contains(tab.Render(), "queries/sec") {
+		t.Error("render lost the throughput column")
+	}
+}

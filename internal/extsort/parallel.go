@@ -1,75 +1,14 @@
 package extsort
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
-
-// boundWorkers clamps a requested worker count to [1, GOMAXPROCS]: more
-// goroutines than schedulable threads only add contention, and anything
-// below one means serial.
-func boundWorkers(workers int) int {
-	if max := runtime.GOMAXPROCS(0); workers > max {
-		workers = max
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+import "prtree/internal/parallel"
 
 // Parallel runs fn(0), ..., fn(n-1) on up to workers goroutines (bounded by
-// GOMAXPROCS) and returns when all calls have finished. With workers <= 1
-// the calls run serially on the caller's goroutine. Iterations are claimed
-// from a shared counter, so callers must not assume any execution order; a
-// panic in any call is re-raised on the caller's goroutine once every
-// worker has stopped.
-//
-// The helper is exported because the bulk-load pipeline's other layers
-// (the pseudo-PR-tree grid stage, the TGS axis sorts) parallelize their
-// independent sorts through the same pool discipline.
-func Parallel(workers, n int, fn func(i int)) {
-	workers = boundWorkers(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var (
-		cursor atomic.Int64
-		wg     sync.WaitGroup
-		pmu    sync.Mutex
-		pval   any
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					pmu.Lock()
-					if pval == nil {
-						pval = r
-					}
-					pmu.Unlock()
-				}
-			}()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	if pval != nil {
-		panic(pval)
-	}
-}
+// GOMAXPROCS) and returns when all calls have finished. It is a re-export of
+// parallel.Run, kept on this package because the bulk-load pipeline's other
+// layers (the pseudo-PR-tree grid stage, the TGS axis sorts) reach their
+// pool discipline through the sort package; new code should import
+// internal/parallel directly.
+func Parallel(workers, n int, fn func(i int)) { parallel.Run(workers, n, fn) }
+
+// boundWorkers clamps a requested worker count to [1, GOMAXPROCS].
+func boundWorkers(workers int) int { return parallel.Bound(workers) }

@@ -1,0 +1,61 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for _, workers := range []int{1, 2, 4, 8, 100} {
+		const n = 500
+		hits := make([]atomic.Int32, n)
+		Run(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunSerialOnCallerGoroutine(t *testing.T) {
+	order := []int{}
+	Run(1, 5, func(i int) { order = append(order, i) }) // no synchronization: must be the caller's goroutine
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial run out of order: %v", order)
+		}
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Run(4, 50, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+func TestBound(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	if got := Bound(0); got != 1 {
+		t.Errorf("Bound(0) = %d", got)
+	}
+	if got := Bound(-3); got != 1 {
+		t.Errorf("Bound(-3) = %d", got)
+	}
+	if got := Bound(100); got != 4 {
+		t.Errorf("Bound(100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Bound(2); got != 2 {
+		t.Errorf("Bound(2) = %d", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"prtree/internal/geom"
+	"prtree/internal/parallel"
 )
 
 // Config parameterizes Build.
@@ -173,6 +174,24 @@ func (t *Tree) Query(q geom.RectD, fn func(geom.ItemD) bool) QueryStats {
 		}
 	}
 	return st
+}
+
+// QueryBatch runs every query concurrently on up to workers goroutines
+// (bounded by GOMAXPROCS; <= 1 means serial) and returns per-query
+// statistics indexed like queries. Each query runs whole on one goroutine
+// with pooled scratch, so the per-query stats are identical to sequential
+// Query calls. fn, if non-nil, receives each result item tagged with its
+// query index; it may be called concurrently for different queries.
+func (t *Tree) QueryBatch(queries []geom.RectD, workers int, fn func(qi int, it geom.ItemD) bool) []QueryStats {
+	out := make([]QueryStats, len(queries))
+	parallel.Run(workers, len(queries), func(i int) {
+		if fn == nil {
+			out[i] = t.Query(queries[i], nil)
+			return
+		}
+		out[i] = t.Query(queries[i], func(it geom.ItemD) bool { return fn(i, it) })
+	})
+	return out
 }
 
 // Validate checks structural invariants: uniform leaf depth, exact bounds,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"prtree/internal/geom"
@@ -169,6 +170,48 @@ func TestConcurrentQueries(t *testing.T) {
 	for g := 0; g < goroutines; g++ {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentQueryBatch checks the batch executor against sequential
+// queries: per-query stats and per-query result sets must match at every
+// worker count.
+func TestConcurrentQueryBatch(t *testing.T) {
+	// Raise GOMAXPROCS so the pool fans out even on single-CPU machines
+	// (workers are clamped to GOMAXPROCS).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	items := randItemsD(5000, 3, 19)
+	tr := Build(items, Config{Dim: 3, B: 16})
+	rng := rand.New(rand.NewSource(20))
+	queries := make([]geom.RectD, 30)
+	wantStats := make([]QueryStats, len(queries))
+	wantIDs := make([][]uint32, len(queries))
+	for i := range queries {
+		queries[i] = randQueryD(3, rng)
+		wantStats[i] = tr.Query(queries[i], func(it geom.ItemD) bool {
+			wantIDs[i] = append(wantIDs[i], it.ID)
+			return true
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		gotIDs := make([][]uint32, len(queries))
+		gotStats := tr.QueryBatch(queries, workers, func(qi int, it geom.ItemD) bool {
+			gotIDs[qi] = append(gotIDs[qi], it.ID)
+			return true
+		})
+		for i := range queries {
+			if gotStats[i] != wantStats[i] {
+				t.Fatalf("workers=%d query %d: stats %+v, want %+v", workers, i, gotStats[i], wantStats[i])
+			}
+			if len(gotIDs[i]) != len(wantIDs[i]) {
+				t.Fatalf("workers=%d query %d: %d ids, want %d", workers, i, len(gotIDs[i]), len(wantIDs[i]))
+			}
+			for j := range gotIDs[i] {
+				if gotIDs[i][j] != wantIDs[i][j] {
+					t.Fatalf("workers=%d query %d: id[%d]=%d, want %d", workers, i, j, gotIDs[i][j], wantIDs[i][j])
+				}
+			}
 		}
 	}
 }

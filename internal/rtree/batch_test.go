@@ -1,0 +1,203 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// allowParallelism raises GOMAXPROCS so the worker pool actually fans out
+// even on single-CPU machines (workers are clamped to GOMAXPROCS). Returns
+// the restore function.
+func allowParallelism() func() {
+	old := runtime.GOMAXPROCS(8)
+	return func() { runtime.GOMAXPROCS(old) }
+}
+
+// batchTestTree builds a tree of n random rectangles by dynamic insertion
+// on a pager with the given cache capacity.
+func batchTestTree(n int, seed int64, capacity int) (*Tree, *storage.Disk) {
+	disk := storage.NewDisk(storage.DefaultBlockSize)
+	tr := New(storage.NewPager(disk, capacity), Config{Fanout: 16})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		tr.Insert(geom.Item{
+			Rect: geom.NewRect(x, y, x+rng.Float64()*0.05, y+rng.Float64()*0.05),
+			ID:   uint32(i),
+		})
+	}
+	return tr, disk
+}
+
+func batchTestQueries(n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Rect, n)
+	for i := range qs {
+		x, y := rng.Float64(), rng.Float64()
+		s := rng.Float64() * 0.3
+		qs[i] = geom.NewRect(x, y, x+s, y+s)
+	}
+	return qs
+}
+
+// TestQueryBatchMatchesSequential is the equivalence property test: for
+// every seed, cache capacity and worker count, SearchBatch must return the
+// same per-query items (in the same order) and the same per-query stats as
+// N sequential Query calls. With an eviction-free cache (unbounded or
+// disabled) the aggregate block-I/O must also be bit-identical to the
+// sequential run at every worker count.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	defer allowParallelism()()
+	for _, seed := range []int64{1, 7, 42} {
+		for _, capacity := range []int{-1, 0, 3} {
+			tr, disk := batchTestTree(3000, seed, capacity)
+			queries := batchTestQueries(40, seed+100)
+
+			tr.Pager().DropCache()
+			disk.ResetStats()
+			wantItems := make([][]geom.Item, len(queries))
+			wantStats := make([]QueryStats, len(queries))
+			for i, q := range queries {
+				wantStats[i] = tr.Query(q, func(it geom.Item) bool {
+					wantItems[i] = append(wantItems[i], it)
+					return true
+				})
+			}
+			serialIO := disk.Stats()
+
+			for _, workers := range []int{1, 2, 4, 8} {
+				tr.Pager().DropCache()
+				disk.ResetStats()
+				gotItems, gotStats := tr.SearchBatch(queries, workers)
+				batchIO := disk.Stats()
+
+				for i := range queries {
+					if !reflect.DeepEqual(gotStats[i], wantStats[i]) {
+						t.Fatalf("seed=%d cap=%d workers=%d query %d: stats %+v, want %+v",
+							seed, capacity, workers, i, gotStats[i], wantStats[i])
+					}
+					if !reflect.DeepEqual(gotItems[i], wantItems[i]) {
+						t.Fatalf("seed=%d cap=%d workers=%d query %d: %d items, want %d (or order differs)",
+							seed, capacity, workers, i, len(gotItems[i]), len(wantItems[i]))
+					}
+				}
+				// Eviction-free regimes: each access pattern is charged as
+				// serially, so total block-I/O is bit-identical. A bounded
+				// LRU interleaves evictions across workers, so only the
+				// per-query results and stats are deterministic there.
+				if capacity <= 0 && batchIO != serialIO {
+					t.Fatalf("seed=%d cap=%d workers=%d: aggregate I/O %v, want %v",
+						seed, capacity, workers, batchIO, serialIO)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryBatchEarlyStop checks that fn returning false stops only the one
+// query, and its stats reflect the truncation.
+func TestQueryBatchEarlyStop(t *testing.T) {
+	defer allowParallelism()()
+	tr, _ := batchTestTree(2000, 3, -1)
+	queries := batchTestQueries(8, 5)
+	full, _ := tr.SearchBatch(queries, 4)
+
+	st := tr.QueryBatch(queries, 4, func(qi int, it geom.Item) bool {
+		return qi != 0 // stop query 0 at its first result
+	})
+	for i := range queries {
+		want := len(full[i])
+		if i == 0 && want > 0 {
+			want = 1
+		}
+		if st[i].Results != want {
+			t.Errorf("query %d: %d results, want %d", i, st[i].Results, want)
+		}
+	}
+}
+
+// TestConcurrentQueryStress runs every read-path flavor from many
+// goroutines against one shared tree while another goroutine reads and
+// resets the I/O counters — the full concurrent read contract, exercised
+// under -race in CI with -count=2.
+func TestConcurrentQueryStress(t *testing.T) {
+	defer allowParallelism()()
+	tr, disk := batchTestTree(4000, 11, -1)
+	queries := batchTestQueries(24, 13)
+
+	wantCollect := make([][]geom.Item, len(queries))
+	wantContain := make([]int, len(queries))
+	for i, q := range queries {
+		wantCollect[i] = tr.QueryCollect(q)
+		wantContain[i] = tr.ContainmentQuery(q, nil).Results
+	}
+	wantKNN, _ := tr.NearestNeighbors(0.5, 0.5, 10)
+	wantMBR := tr.MBR()
+
+	const workers = 8
+	done := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() {
+		defer statsWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = disk.Stats()
+			_, _ = tr.Pager().HitRate()
+			disk.ResetStats()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 30; rep++ {
+				qi := (w + rep) % len(queries)
+				switch rep % 4 {
+				case 0:
+					if got := tr.QueryCollect(queries[qi]); !reflect.DeepEqual(got, wantCollect[qi]) {
+						t.Errorf("worker %d: QueryCollect(%d) diverged", w, qi)
+						return
+					}
+				case 1:
+					if got := tr.ContainmentQuery(queries[qi], nil).Results; got != wantContain[qi] {
+						t.Errorf("worker %d: ContainmentQuery(%d) = %d, want %d", w, qi, got, wantContain[qi])
+						return
+					}
+				case 2:
+					got, _ := tr.NearestNeighbors(0.5, 0.5, 10)
+					if len(got) != len(wantKNN) {
+						t.Errorf("worker %d: kNN returned %d", w, len(got))
+						return
+					}
+					for i := range got {
+						if got[i].Dist2 != wantKNN[i].Dist2 {
+							t.Errorf("worker %d: kNN[%d] dist %v, want %v", w, i, got[i].Dist2, wantKNN[i].Dist2)
+							return
+						}
+					}
+				case 3:
+					if got := tr.MBR(); got != wantMBR {
+						t.Errorf("worker %d: MBR diverged", w)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	statsWG.Wait()
+}

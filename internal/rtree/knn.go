@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"container/heap"
+	"sync"
 
 	"prtree/internal/geom"
 	"prtree/internal/storage"
@@ -25,8 +26,8 @@ func (t *Tree) PointQuery(x, y float64, fn func(geom.Item) bool) QueryStats {
 // tree.
 func (t *Tree) ContainmentQuery(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 	var st QueryStats
-	stack := t.grabStack()
-	stack = append(stack, t.root)
+	sp := t.grabStack()
+	stack := append(*sp, t.root)
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -39,7 +40,7 @@ func (t *Tree) ContainmentQuery(q geom.Rect, fn func(geom.Item) bool) QueryStats
 				if q.Contains(r) {
 					st.Results++
 					if fn != nil && !fn(geom.Item{Rect: r, ID: v.refAt(i)}) {
-						t.releaseStack(stack)
+						t.releaseStack(sp, stack)
 						return st
 					}
 				}
@@ -53,7 +54,7 @@ func (t *Tree) ContainmentQuery(q geom.Rect, fn func(geom.Item) bool) QueryStats
 			}
 		}
 	}
-	t.releaseStack(stack)
+	t.releaseStack(sp, stack)
 	return st
 }
 
@@ -64,6 +65,12 @@ type Neighbor struct {
 	Dist2 float64
 }
 
+// knnHeaps pools best-first search frontiers across NearestNeighbors calls
+// — per-goroutine scratch, like the traversal stacks, so concurrent k-NN
+// queries never share a heap. Package-level because the heaps carry no
+// per-tree state.
+var knnHeaps = sync.Pool{New: func() interface{} { h := make(distHeap, 0, 64); return &h }}
+
 // NearestNeighbors returns the k stored rectangles closest to (x, y) in
 // ascending distance order, using best-first search: a global priority
 // queue over node bounding-box distances guarantees no node is read unless
@@ -73,7 +80,9 @@ func (t *Tree) NearestNeighbors(x, y float64, k int) ([]Neighbor, QueryStats) {
 	if k <= 0 || t.nItems == 0 {
 		return nil, st
 	}
-	pq := &distHeap{}
+	pq := knnHeaps.Get().(*distHeap)
+	defer func() { *pq = (*pq)[:0]; knnHeaps.Put(pq) }()
+	*pq = (*pq)[:0]
 	heap.Push(pq, distEntry{dist2: 0, page: t.root, isNode: true})
 	out := make([]Neighbor, 0, k)
 	for pq.Len() > 0 {

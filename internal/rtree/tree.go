@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"sync"
 
 	"prtree/internal/geom"
 	"prtree/internal/storage"
@@ -44,6 +45,16 @@ const (
 // write-through in writeNode and invalidation in freeNode and the pager
 // itself. Both flavors call Pager.Read first, so block-I/O accounting is
 // identical to an implementation that decodes eagerly.
+//
+// # Concurrency
+//
+// All read paths are safe for any number of concurrent goroutines:
+// per-traversal scratch (explicit stacks, k-NN heaps) is sync.Pool-backed
+// rather than tree state, and the pager underneath is lock-striped. The
+// mutation paths (Insert, Delete, Release, bulk-load builders) require
+// exclusive access — no reader or other writer may run concurrently with
+// them. QueryBatch and SearchBatch fan a slice of queries across a bounded
+// worker pool under this contract.
 type Tree struct {
 	pager  *storage.Pager
 	cfg    Config
@@ -51,8 +62,8 @@ type Tree struct {
 	height int // number of levels; 1 = root is a leaf
 	nItems int
 	nNodes int
-	buf    []byte           // scratch block for serialization
-	stack  []storage.PageID // reusable traversal scratch; nil while borrowed
+	buf    []byte    // scratch block for serialization (mutation paths only)
+	stacks sync.Pool // per-traversal scratch stacks (*[]storage.PageID)
 }
 
 // New creates an empty tree (a single empty leaf) on the pager.
@@ -151,19 +162,25 @@ func (t *Tree) freeNode(id storage.PageID) {
 	t.nNodes--
 }
 
-// grabStack borrows the tree's traversal scratch, detaching it so a nested
-// query issued from a visitor callback allocates its own rather than
-// corrupting the outer traversal.
-func (t *Tree) grabStack() []storage.PageID {
-	s := t.stack
-	t.stack = nil
-	if s == nil {
-		s = make([]storage.PageID, 0, 64)
+// grabStack borrows a traversal scratch stack from the pool, so nested
+// queries (issued from a visitor callback) and concurrent queries each get
+// their own rather than corrupting another traversal. The pool hands back a
+// pointer-to-slice (SA6002): putting the slice value itself would box its
+// header, allocating on every query.
+func (t *Tree) grabStack() *[]storage.PageID {
+	sp, _ := t.stacks.Get().(*[]storage.PageID)
+	if sp == nil {
+		s := make([]storage.PageID, 0, 64)
+		sp = &s
 	}
-	return s[:0]
+	*sp = (*sp)[:0]
+	return sp
 }
 
-func (t *Tree) releaseStack(s []storage.PageID) { t.stack = s }
+func (t *Tree) releaseStack(sp *[]storage.PageID, s []storage.PageID) {
+	*sp = s[:0]
+	t.stacks.Put(sp)
+}
 
 // QueryStats reports the work done by one window query.
 type QueryStats struct {
@@ -185,8 +202,8 @@ type QueryStats struct {
 // a bounded LRU.
 func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 	var st QueryStats
-	stack := t.grabStack()
-	stack = append(stack, t.root)
+	sp := t.grabStack()
+	stack := append(*sp, t.root)
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -199,7 +216,7 @@ func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 				if q.Intersects(r) {
 					st.Results++
 					if fn != nil && !fn(geom.Item{Rect: r, ID: v.refAt(i)}) {
-						t.releaseStack(stack)
+						t.releaseStack(sp, stack)
 						return st
 					}
 				}
@@ -213,7 +230,7 @@ func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 			}
 		}
 	}
-	t.releaseStack(stack)
+	t.releaseStack(sp, stack)
 	return st
 }
 

@@ -1,8 +1,12 @@
 package storage
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
 
-// Pager mediates page reads through an LRU cache with a pin set. It models
+// Pager mediates page reads through a page cache with a pin set. It models
 // the paper's query-time buffer: all internal R-tree nodes are pinned so
 // the reported query cost is the number of leaf blocks fetched.
 //
@@ -17,36 +21,95 @@ import "container/list"
 // already resident. Entries are dropped whenever the bytes they were parsed
 // from change or leave the cache: on Write, Invalidate, DropCache and LRU
 // eviction.
+//
+// # Concurrency
+//
+// A Pager is safe for use by many concurrent readers (Read, Pin lookups,
+// Decoded, HitRate, CachedPages): the cache is lock-striped across
+// power-of-two shards keyed by page id, and the hit/miss counters are
+// atomic. A cache miss uses a single-flight protocol — the first goroutine
+// to miss a page installs an in-flight entry, releases the shard lock,
+// performs the one disk read and publishes the bytes; concurrent readers of
+// the same page count a hit and wait for the fill. Consequently both the
+// hit/miss tallies and the disk's block-read counter are exactly what a
+// serial execution of the same page accesses would produce, which is what
+// keeps QueryBatch's aggregate block-I/O bit-identical to serial runs.
+//
+// Writers (Write, Invalidate, Unpin, DropCache) are individually safe to
+// call, but mutating the underlying pages while queries read them is a
+// higher-level contract violation — rtree.Tree documents that updates
+// require exclusive access.
+//
+// Two cache regimes exist. Unbounded (capacity < 0, the production default)
+// and disabled (capacity 0) pagers never evict, so striping cannot change
+// which accesses hit: serial accounting is bit-identical to the previous
+// global-LRU implementation, and Figures 9-12 are unaffected. A bounded
+// pager (capacity > 0) needs a global LRU order to keep its documented
+// exact eviction sequence, so it runs as a single shard under one lock —
+// still safe under concurrency, but serialized; bounded caches exist for
+// the cache-ablation experiments, not the throughput path.
 type Pager struct {
 	disk     *Disk
-	capacity int // max unpinned cached pages; <0 means unbounded
-	lru      *list.List
-	entries  map[PageID]*list.Element
-	pinned   map[PageID][]byte
-	decoded  map[PageID]interface{}
+	capacity int // max unpinned cached pages; <0 means unbounded, 0 disables
+	shards   []pagerShard
+	mask     uint32
 
-	hits   uint64
-	misses uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
+// pagerShardCount is the stripe width for unbounded and capacity-0 pagers.
+// It must be a power of two (the shard index is id & mask).
+const pagerShardCount = 16
+
+type pagerShard struct {
+	mu      sync.RWMutex
+	lru     *list.List // LRU order over entries; maintained only when bounded
+	entries map[PageID]*cacheEntry
+	pinned  map[PageID][]byte
+	decoded map[PageID]interface{}
+}
+
+// cacheEntry is one unpinned cached page. In bounded pagers data is always
+// filled under the shard lock and elem records the LRU position. In
+// unbounded pagers an entry may be in flight: ready is closed once data is
+// published, and readers that found the entry wait on it off-lock.
 type cacheEntry struct {
-	id   PageID
-	data []byte
+	id    PageID
+	data  []byte
+	elem  *list.Element // LRU position; nil in unbounded shards
+	ready chan struct{} // nil in bounded shards (filled synchronously)
 }
 
-// NewPager returns a pager over disk whose LRU holds at most capacity
+// NewPager returns a pager over disk whose cache holds at most capacity
 // unpinned pages. capacity 0 disables unpinned caching entirely;
 // a negative capacity means "unbounded".
 func NewPager(disk *Disk, capacity int) *Pager {
-	return &Pager{
+	nshards := pagerShardCount
+	if capacity > 0 {
+		// A bounded cache keeps the exact global LRU eviction order, which
+		// a striped cache cannot provide; it runs as a single shard.
+		nshards = 1
+	}
+	p := &Pager{
 		disk:     disk,
 		capacity: capacity,
-		lru:      list.New(),
-		entries:  make(map[PageID]*list.Element),
-		pinned:   make(map[PageID][]byte),
-		decoded:  make(map[PageID]interface{}),
+		shards:   make([]pagerShard, nshards),
+		mask:     uint32(nshards - 1),
 	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		if capacity > 0 {
+			s.lru = list.New() // only the bounded single shard keeps LRU order
+		}
+		s.entries = make(map[PageID]*cacheEntry)
+		s.pinned = make(map[PageID][]byte)
+		s.decoded = make(map[PageID]interface{})
+	}
+	return p
 }
+
+func (p *Pager) shard(id PageID) *pagerShard { return &p.shards[uint32(id)&p.mask] }
 
 // Disk returns the underlying device.
 func (p *Pager) Disk() *Disk { return p.disk }
@@ -55,132 +118,300 @@ func (p *Pager) Disk() *Disk { return p.disk }
 // one block read) only on a cache miss. The returned slice is shared with
 // the cache and must be treated as read-only.
 func (p *Pager) Read(id PageID) []byte {
-	if data, ok := p.pinned[id]; ok {
-		p.hits++
+	if p.capacity > 0 {
+		return p.readBounded(id)
+	}
+	return p.readStriped(id)
+}
+
+// readBounded is the single-shard exact-LRU read path of bounded pagers.
+func (p *Pager) readBounded(id PageID) []byte {
+	s := &p.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if data, ok := s.pinned[id]; ok {
+		p.hits.Add(1)
 		return data
 	}
-	if el, ok := p.entries[id]; ok {
-		p.hits++
-		p.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).data
+	if ce, ok := s.entries[id]; ok {
+		p.hits.Add(1)
+		s.lru.MoveToFront(ce.elem)
+		return ce.data
 	}
-	p.misses++
+	p.misses.Add(1)
 	data := make([]byte, p.disk.BlockSize())
 	p.disk.Read(id, data)
-	if p.capacity != 0 {
-		el := p.lru.PushFront(&cacheEntry{id: id, data: data})
-		p.entries[id] = el
-		p.evict()
-	}
+	ce := &cacheEntry{id: id, data: data}
+	ce.elem = s.lru.PushFront(ce)
+	s.entries[id] = ce
+	p.evictLocked(s)
 	return data
+}
+
+// readStriped is the lock-striped read path of unbounded and capacity-0
+// pagers. Hits take only a shard read-lock; misses single-flight the fill.
+func (p *Pager) readStriped(id PageID) []byte {
+	s := p.shard(id)
+	for {
+		s.mu.RLock()
+		if data, ok := s.pinned[id]; ok {
+			s.mu.RUnlock()
+			p.hits.Add(1)
+			return data
+		}
+		if ce, ok := s.entries[id]; ok {
+			s.mu.RUnlock()
+			p.hits.Add(1)
+			if data := ce.wait(); data != nil {
+				return data
+			}
+			// The fill failed (the filler panicked); its entry is gone.
+			// Retry so this goroutine reads the page itself and surfaces
+			// the same error.
+			continue
+		}
+		s.mu.RUnlock()
+		break
+	}
+	if p.capacity == 0 {
+		// Caching disabled: every unpinned access reads the disk, exactly
+		// as it would serially.
+		p.misses.Add(1)
+		data := make([]byte, p.disk.BlockSize())
+		p.disk.Read(id, data)
+		return data
+	}
+	for {
+		s.mu.Lock()
+		// Re-check under the write lock: another goroutine may have pinned,
+		// filled or begun filling the page since the read-locked probe.
+		if data, ok := s.pinned[id]; ok {
+			s.mu.Unlock()
+			p.hits.Add(1)
+			return data
+		}
+		if ce, ok := s.entries[id]; ok {
+			s.mu.Unlock()
+			p.hits.Add(1)
+			if data := ce.wait(); data != nil {
+				return data
+			}
+			continue
+		}
+		ce := &cacheEntry{id: id, ready: make(chan struct{})}
+		s.entries[id] = ce
+		s.mu.Unlock()
+		p.misses.Add(1)
+		return p.fill(s, ce)
+	}
+}
+
+// fill performs the single disk read of a missed page off-lock — exactly
+// one per distinct missed page, with other shards readable meanwhile — and
+// publishes the bytes under the shard lock so lock-holding readers (Pin,
+// Write) observe them safely. If the disk read panics (e.g. an out-of-range
+// page id), the in-flight entry is removed and waiters are released to
+// retry and surface the same panic, instead of blocking forever.
+func (p *Pager) fill(s *pagerShard, ce *cacheEntry) []byte {
+	defer func() {
+		if ce.data == nil { // disk read panicked; unblock waiters
+			s.mu.Lock()
+			if s.entries[ce.id] == ce {
+				delete(s.entries, ce.id)
+			}
+			s.mu.Unlock()
+		}
+		close(ce.ready)
+	}()
+	data := make([]byte, p.disk.BlockSize())
+	p.disk.Read(ce.id, data)
+	s.mu.Lock()
+	ce.data = data
+	s.mu.Unlock()
+	return data
+}
+
+// wait blocks until the entry's fill completes and returns the bytes, or
+// nil if the fill failed and the caller should retry.
+func (ce *cacheEntry) wait() []byte {
+	if ce.ready != nil {
+		<-ce.ready
+	}
+	return ce.data
 }
 
 // Pin loads page id (counting a read if absent from the cache) and keeps it
 // resident until Unpin. Pinned pages never count as query I/O after the pin.
 func (p *Pager) Pin(id PageID) {
-	if _, ok := p.pinned[id]; ok {
-		return
+	s := p.shard(id)
+	for {
+		s.mu.Lock()
+		if _, ok := s.pinned[id]; ok {
+			s.mu.Unlock()
+			return
+		}
+		if ce, ok := s.entries[id]; ok {
+			if ce.data != nil {
+				delete(s.entries, id)
+				if ce.elem != nil {
+					s.lru.Remove(ce.elem)
+				}
+				s.pinned[id] = ce.data
+				s.mu.Unlock()
+				return
+			}
+			// A concurrent reader is filling this page; wait for its
+			// single disk read rather than issuing a duplicate one, then
+			// re-examine.
+			s.mu.Unlock()
+			ce.wait()
+			continue
+		}
+		if p.capacity > 0 {
+			// Bounded single-shard mode: load under the lock, exactly as
+			// the pre-striping pager did (in-flight entries must never be
+			// visible to readBounded, which assumes filled entries).
+			data := make([]byte, p.disk.BlockSize())
+			p.disk.Read(id, data)
+			s.pinned[id] = data
+			s.mu.Unlock()
+			return
+		}
+		// Striped mode: become the single-flight filler, so a Read racing
+		// this Pin neither duplicates the disk read nor leaves an orphaned
+		// cache entry behind; the next loop iteration promotes the filled
+		// entry to the pin set.
+		ce := &cacheEntry{id: id, ready: make(chan struct{})}
+		s.entries[id] = ce
+		s.mu.Unlock()
+		p.fill(s, ce)
 	}
-	if el, ok := p.entries[id]; ok {
-		ce := el.Value.(*cacheEntry)
-		p.lru.Remove(el)
-		delete(p.entries, id)
-		p.pinned[id] = ce.data
-		return
-	}
-	data := make([]byte, p.disk.BlockSize())
-	p.disk.Read(id, data)
-	p.pinned[id] = data
 }
 
 // Unpin releases a pinned page. The page leaves the cache entirely (it is
 // not demoted to the LRU), so its decoded entry goes with it. It is a no-op
 // for unpinned pages.
 func (p *Pager) Unpin(id PageID) {
-	if _, ok := p.pinned[id]; !ok {
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pinned[id]; !ok {
 		return
 	}
-	delete(p.pinned, id)
-	delete(p.decoded, id)
+	delete(s.pinned, id)
+	delete(s.decoded, id)
 }
 
 // Decoded returns the memoized decoded form of page id, if any. A hit
 // guarantees the value was stored against the bytes currently cached for
 // the page (writes and invalidations drop it).
 func (p *Pager) Decoded(id PageID) (interface{}, bool) {
-	v, ok := p.decoded[id]
+	s := p.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.decoded[id]
 	return v, ok
 }
 
 // StoreDecoded memoizes the decoded form of page id. The entry is kept only
-// while the page's bytes are resident (pinned or in the LRU): tying decoded
+// while the page's bytes are resident (pinned or cached): tying decoded
 // lifetime to byte residency keeps memory proportional to the configured
 // cache capacity, and a capacity-0 pager stays cache-free as configured.
 func (p *Pager) StoreDecoded(id PageID, v interface{}) {
-	if _, ok := p.pinned[id]; !ok {
-		if _, ok := p.entries[id]; !ok {
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pinned[id]; !ok {
+		if _, ok := s.entries[id]; !ok {
 			return
 		}
 	}
-	p.decoded[id] = v
+	s.decoded[id] = v
 }
 
 // Write stores data to page id on disk and refreshes any cached copy. The
 // decoded entry, parsed from the overwritten bytes, is dropped; callers
 // writing an already-materialized form may StoreDecoded it again.
 func (p *Pager) Write(id PageID, data []byte) {
-	delete(p.decoded, id)
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.decoded, id)
 	p.disk.Write(id, data)
-	if pd, ok := p.pinned[id]; ok {
-		copy(pd, data)
-		for i := len(data); i < len(pd); i++ {
-			pd[i] = 0
-		}
+	if pd, ok := s.pinned[id]; ok {
+		refreshCopy(pd, data)
 		return
 	}
-	if el, ok := p.entries[id]; ok {
-		cd := el.Value.(*cacheEntry).data
-		copy(cd, data)
-		for i := len(data); i < len(cd); i++ {
-			cd[i] = 0
-		}
+	if ce, ok := s.entries[id]; ok && ce.data != nil {
+		refreshCopy(ce.data, data)
+	}
+}
+
+// refreshCopy overwrites dst with data, zero-filling the tail beyond it so
+// the cached copy matches the disk page exactly.
+func refreshCopy(dst, data []byte) {
+	copy(dst, data)
+	for i := len(data); i < len(dst); i++ {
+		dst[i] = 0
 	}
 }
 
 // Invalidate drops any cached copy of page id (bytes and decoded form)
 // without touching the disk.
 func (p *Pager) Invalidate(id PageID) {
-	delete(p.decoded, id)
-	delete(p.pinned, id)
-	if el, ok := p.entries[id]; ok {
-		p.lru.Remove(el)
-		delete(p.entries, id)
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.decoded, id)
+	delete(s.pinned, id)
+	if ce, ok := s.entries[id]; ok {
+		if ce.elem != nil {
+			s.lru.Remove(ce.elem)
+		}
+		delete(s.entries, id)
 	}
 }
 
-// DropCache empties the LRU, the pin set and the decoded cache.
+// DropCache empties the cache, the pin set and the decoded cache.
 func (p *Pager) DropCache() {
-	p.lru.Init()
-	p.entries = make(map[PageID]*list.Element)
-	p.pinned = make(map[PageID][]byte)
-	p.decoded = make(map[PageID]interface{})
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		if s.lru != nil {
+			s.lru.Init()
+		}
+		s.entries = make(map[PageID]*cacheEntry)
+		s.pinned = make(map[PageID][]byte)
+		s.decoded = make(map[PageID]interface{})
+		s.mu.Unlock()
+	}
 }
 
-// HitRate returns cache hits and misses since construction.
-func (p *Pager) HitRate() (hits, misses uint64) { return p.hits, p.misses }
+// HitRate returns cache hits and misses since construction. It is safe to
+// call while queries run; the two counters are loaded independently.
+func (p *Pager) HitRate() (hits, misses uint64) {
+	return p.hits.Load(), p.misses.Load()
+}
 
-// CachedPages returns the number of resident pages (pinned + LRU).
-func (p *Pager) CachedPages() int { return len(p.pinned) + p.lru.Len() }
-
-func (p *Pager) evict() {
-	if p.capacity < 0 {
-		return
+// CachedPages returns the number of resident pages (pinned + cached).
+func (p *Pager) CachedPages() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.RLock()
+		n += len(s.pinned) + len(s.entries)
+		s.mu.RUnlock()
 	}
-	for p.lru.Len() > p.capacity {
-		el := p.lru.Back()
+	return n
+}
+
+// evictLocked trims the bounded shard to capacity; the caller holds its lock.
+func (p *Pager) evictLocked(s *pagerShard) {
+	for s.lru.Len() > p.capacity {
+		el := s.lru.Back()
 		ce := el.Value.(*cacheEntry)
-		p.lru.Remove(el)
-		delete(p.entries, ce.id)
-		delete(p.decoded, ce.id)
+		s.lru.Remove(el)
+		delete(s.entries, ce.id)
+		delete(s.decoded, ce.id)
 	}
 }

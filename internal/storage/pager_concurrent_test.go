@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPagerConcurrentReaders hammers an unbounded pager from many
+// goroutines with overlapping page sets — the access pattern of the batch
+// query executor (run under -race in CI). The single-flight miss path must
+// keep the counters exactly serial: one miss and one disk read per distinct
+// page, a hit for every other access.
+func TestPagerConcurrentReaders(t *testing.T) {
+	const (
+		pages     = 64
+		workers   = 8
+		perWorker = 400
+	)
+	d := newPagerDisk(t, pages)
+	p := NewPager(d, -1)
+	d.ResetStats()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := PageID((w*7 + i*13) % pages)
+				got := p.Read(id)
+				if got[0] != byte(id+1) {
+					t.Errorf("page %d content = %d", id, got[0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hits, misses := p.HitRate()
+	if misses != pages {
+		t.Errorf("misses = %d, want %d (one per distinct page)", misses, pages)
+	}
+	if total := hits + misses; total != workers*perWorker {
+		t.Errorf("hits+misses = %d, want %d", total, workers*perWorker)
+	}
+	if got := d.Stats().Reads; got != pages {
+		t.Errorf("disk reads = %d, want %d (single-flight fills)", got, pages)
+	}
+	if got := p.CachedPages(); got != pages {
+		t.Errorf("CachedPages = %d, want %d", got, pages)
+	}
+}
+
+// TestPagerConcurrentSingleFlight aims every goroutine at the same page at
+// once: exactly one disk read may happen, and every waiter must observe the
+// filled bytes.
+func TestPagerConcurrentSingleFlight(t *testing.T) {
+	const workers = 16
+	d := newPagerDisk(t, 1)
+	p := NewPager(d, -1)
+	d.ResetStats()
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			<-start
+			if got := p.Read(0); got[0] != 1 {
+				t.Errorf("read returned %d", got[0])
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := d.Stats().Reads; got != 1 {
+		t.Errorf("disk reads = %d, want 1", got)
+	}
+	hits, misses := p.HitRate()
+	if misses != 1 || hits != workers-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1", hits, misses, workers-1)
+	}
+}
+
+// TestPagerConcurrentCapacityZero checks the no-cache regime stays exactly
+// serial under concurrency: every unpinned access reads the disk, pinned
+// pages always hit.
+func TestPagerConcurrentCapacityZero(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 100
+	)
+	d := newPagerDisk(t, 2)
+	p := NewPager(d, 0)
+	p.Pin(1)
+	d.ResetStats()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if got := p.Read(0); got[0] != 1 {
+					t.Errorf("page 0 content = %d", got[0])
+					return
+				}
+				if got := p.Read(1); got[0] != 2 {
+					t.Errorf("pinned page content = %d", got[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := d.Stats().Reads; got != workers*perWorker {
+		t.Errorf("disk reads = %d, want %d (unpinned reads are uncached)", got, workers*perWorker)
+	}
+	hits, misses := p.HitRate()
+	if hits != workers*perWorker || misses != workers*perWorker {
+		t.Errorf("hits=%d misses=%d, want %d/%d", hits, misses, workers*perWorker, workers*perWorker)
+	}
+}
+
+// TestPagerConcurrentStatsReaders calls HitRate and CachedPages while
+// readers run — the counter-read race the facade's IOStats fix covers.
+func TestPagerConcurrentStatsReaders(t *testing.T) {
+	const pages = 32
+	d := newPagerDisk(t, pages)
+	p := NewPager(d, -1)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			h, m := p.HitRate()
+			if h+m > 0 && p.CachedPages() > pages {
+				t.Error("impossible cache census")
+				return
+			}
+			_ = d.Stats()
+			d.ResetStats()
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		p.Read(PageID(i % pages))
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestPagerConcurrentPinDuringFill races Pin against readers filling the
+// same pages: whichever side gets there first must do the page's single
+// disk read (Pin joins an in-flight fill instead of duplicating it, and
+// Read joins a filling Pin), no orphaned cache entry may survive, and
+// reads after the pin must serve the pinned copy.
+func TestPagerConcurrentPinDuringFill(t *testing.T) {
+	const pages = 32
+	for round := 0; round < 20; round++ {
+		d := newPagerDisk(t, pages)
+		p := NewPager(d, -1)
+		d.ResetStats()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pages; i++ {
+				p.Read(PageID(i))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := pages - 1; i >= 0; i-- {
+				p.Pin(PageID(i))
+			}
+		}()
+		wg.Wait()
+		if got := d.Stats().Reads; got != pages {
+			t.Fatalf("round %d: %d disk reads for %d pages under a Pin/Read race", round, got, pages)
+		}
+		if got := p.CachedPages(); got != pages {
+			t.Fatalf("round %d: CachedPages = %d, want %d (orphaned entries?)", round, got, pages)
+		}
+		d.ResetStats()
+		for i := 0; i < pages; i++ {
+			if got := p.Read(PageID(i)); got[0] != byte(i+1) {
+				t.Fatalf("page %d content = %d", i, got[0])
+			}
+			p.Unpin(PageID(i))
+		}
+		if got := d.Stats().Reads; got != 0 {
+			t.Fatalf("round %d: %d disk reads after everything pinned/cached", round, got)
+		}
+		// After Unpin the pages must be gone entirely: an unpinned page
+		// reloads from disk (no stale orphan may answer from the cache).
+		d.ResetStats()
+		p.Read(0)
+		if got := d.Stats().Reads; got != 1 {
+			t.Fatalf("round %d: unpinned page served from a stale cache entry", round)
+		}
+	}
+}
+
+// TestPagerConcurrentDecoded exercises the decoded-node cache from many
+// goroutines: stores and lookups must be race-free and a lookup must only
+// ever observe a value stored for that page.
+func TestPagerConcurrentDecoded(t *testing.T) {
+	const (
+		pages   = 16
+		workers = 8
+	)
+	d := newPagerDisk(t, pages)
+	p := NewPager(d, -1)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := PageID((w + i) % pages)
+				p.Read(id)
+				if v, ok := p.Decoded(id); ok {
+					if v.(*decodedProbe).gen != int(id) {
+						t.Errorf("page %d decoded as %d", id, v.(*decodedProbe).gen)
+						return
+					}
+				} else {
+					p.StoreDecoded(id, &decodedProbe{gen: int(id)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -12,6 +12,12 @@
 // offers a logarithmic-method dynamic index that keeps the optimal query
 // bound under insertions and deletions.
 //
+// The read path is safe for many concurrent goroutines — the page cache is
+// lock-striped and per-traversal scratch is pooled — and QueryBatch /
+// SearchBatch fan a slice of queries across a bounded worker pool with
+// results identical to sequential execution. Mutations (Insert, Delete)
+// require exclusive access.
+//
 // Quick start:
 //
 //	items := []prtree.Item{
@@ -146,6 +152,25 @@ func (t *Tree) Query(q Rect, fn func(Item) bool) QueryStats {
 // Search returns all items intersecting q.
 func (t *Tree) Search(q Rect) []Item { return t.inner.QueryCollect(q) }
 
+// QueryBatch runs every query concurrently on up to workers goroutines
+// (bounded by GOMAXPROCS; <= 1 means serial) and returns per-query
+// statistics indexed like queries. Per-query results and stats are
+// identical to sequential Query calls at every worker count, and with the
+// default unbounded cache the aggregate block-I/O is bit-identical too.
+// The tree must not be mutated while a batch runs.
+func (t *Tree) QueryBatch(queries []Rect, workers int) []QueryStats {
+	return t.inner.QueryBatch(queries, workers, nil)
+}
+
+// SearchBatch runs every query concurrently on up to workers goroutines and
+// returns the matching items per query, indexed and ordered exactly as N
+// sequential Search calls would be. The tree must not be mutated while a
+// batch runs.
+func (t *Tree) SearchBatch(queries []Rect, workers int) [][]Item {
+	results, _ := t.inner.SearchBatch(queries, workers)
+	return results
+}
+
 // SearchPoint returns all items containing the point (x, y).
 func (t *Tree) SearchPoint(x, y float64) []Item {
 	var out []Item
@@ -199,10 +224,14 @@ func (t *Tree) MBR() Rect { return t.inner.MBR() }
 // Utilization returns the average leaf and internal node fill fractions.
 func (t *Tree) Utilization() (leaf, internal float64) { return t.inner.Utilization() }
 
-// IOStats returns cumulative block reads/writes on the tree's disk.
+// IOStats returns cumulative block reads/writes on the tree's disk. The
+// counters are atomic: IOStats is safe to call while queries (including
+// QueryBatch) run.
 func (t *Tree) IOStats() IOStats { return t.disk.Stats() }
 
 // ResetIOStats zeroes the disk counters (e.g. before measuring a query).
+// Like IOStats it is safe to call while queries run; in-flight queries
+// simply split their I/O across the two measurement intervals.
 func (t *Tree) ResetIOStats() { t.disk.ResetStats() }
 
 // PinInternal pins every internal node in the page cache, reproducing the

@@ -3,7 +3,14 @@ package prtree
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"testing"
+
+	"prtree/internal/bulk"
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+	"prtree/internal/workload"
 )
 
 func randItems(n int, seed int64) []Item {
@@ -268,6 +275,113 @@ func TestSaveLoadPublic(t *testing.T) {
 	got.Insert(Item{Rect: NewRect(0.9, 0.9, 0.95, 0.95), ID: 70000})
 	if err := got.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSearchBatchMatchesSequentialFig12 is the facade-level equivalence
+// test on the Fig12 workload shape (PR-loaded TIGER-like data, square
+// window queries, internal nodes pinned): SearchBatch and QueryBatch must
+// return exactly the sequential results and stats at every worker count,
+// and the aggregate block-I/O of a cold-cache batch must be bit-identical
+// to a cold-cache sequential run.
+func TestSearchBatchMatchesSequentialFig12(t *testing.T) {
+	// Raise GOMAXPROCS so the pool fans out even on single-CPU machines
+	// (workers are clamped to GOMAXPROCS).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	items := dataset.Western(20000, 5)
+	world := geom.ItemsMBR(items)
+	// Two nontrivial accounting regimes: capacity 0 with pinned internals is
+	// the paper's measurement mode (every leaf visit is one disk read), and
+	// the unbounded default with a cold cache charges each distinct page
+	// once through the single-flight miss path.
+	for _, capacity := range []int{-1, 0} {
+		// The facade treats CacheCapacity 0 as "default" (unbounded), so
+		// build the capacity-0 pager explicitly for the paper's
+		// nothing-cached measurement mode.
+		disk := storage.NewDisk(storage.DefaultBlockSize)
+		inner := bulk.FromItems(bulk.LoaderPR, storage.NewPager(disk, capacity), items, bulk.Options{})
+		tree := &Tree{inner: inner, disk: disk}
+		queries := workload.Squares(world, 0.01, 60, 6)
+		coldStart := func() {
+			tree.inner.Pager().DropCache()
+			if capacity == 0 {
+				tree.PinInternal()
+			}
+			tree.ResetIOStats()
+		}
+
+		coldStart()
+		wantResults := make([][]Item, len(queries))
+		wantStats := make([]QueryStats, len(queries))
+		for i, q := range queries {
+			wantResults[i] = tree.Search(q)
+			wantStats[i] = tree.Query(q, nil)
+		}
+		serialIO := tree.IOStats()
+		if serialIO.Reads == 0 {
+			t.Fatalf("cap=%d: serial baseline did no disk reads; the identity check would be vacuous", capacity)
+		}
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			coldStart()
+			gotResults := tree.SearchBatch(queries, workers)
+			gotStats := tree.QueryBatch(queries, workers)
+			batchIO := tree.IOStats()
+
+			for i := range queries {
+				if gotStats[i] != wantStats[i] {
+					t.Fatalf("cap=%d workers=%d query %d: stats %+v, want %+v",
+						capacity, workers, i, gotStats[i], wantStats[i])
+				}
+				if len(gotResults[i]) != len(wantResults[i]) {
+					t.Fatalf("cap=%d workers=%d query %d: %d results, want %d",
+						capacity, workers, i, len(gotResults[i]), len(wantResults[i]))
+				}
+				for j := range gotResults[i] {
+					if gotResults[i][j] != wantResults[i][j] {
+						t.Fatalf("cap=%d workers=%d query %d: result %d differs", capacity, workers, i, j)
+					}
+				}
+			}
+			// Both intervals start cold and perform the same page accesses
+			// (SearchBatch cold, QueryBatch re-reading), so the aggregate
+			// must match the serial interval exactly.
+			if batchIO.Reads != serialIO.Reads {
+				t.Fatalf("cap=%d workers=%d: aggregate reads %d, want %d (bit-identical to serial)",
+					capacity, workers, batchIO.Reads, serialIO.Reads)
+			}
+		}
+	}
+}
+
+// TestConcurrentIOStatsDuringBatch reads and resets the I/O counters while
+// a batch runs — the counter race the lock-striped pager and atomic disk
+// stats fix. Run under -race in CI.
+func TestConcurrentIOStatsDuringBatch(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	items := randItems(8000, 21)
+	tree := Bulk(items, nil)
+	queries := make([]Rect, 64)
+	rng := rand.New(rand.NewSource(22))
+	for i := range queries {
+		x, y := rng.Float64(), rng.Float64()
+		queries[i] = NewRect(x, y, x+0.2, y+0.2)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			tree.QueryBatch(queries, 8)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			_ = tree.IOStats()
+			tree.ResetIOStats()
+		}
 	}
 }
 
