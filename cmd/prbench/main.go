@@ -1,20 +1,29 @@
 // Command prbench regenerates the paper's evaluation: every figure and
-// table of Section 3 plus the Theorem 3 demonstration and the Lemma 2
-// empirical check, printed as aligned text tables.
+// table of Section 3 plus the Theorem 3 demonstration, the Lemma 2
+// empirical check and the page-layout sweep, printed as aligned text
+// tables and optionally emitted as machine-readable JSON.
 //
 // Usage:
 //
-//	prbench [-scale F] [-queries N] [-mem M] [-workers W] [-seed S] [-only ids]
+//	prbench [-scale F] [-queries N] [-mem M] [-workers W] [-seed S]
+//	        [-layout raw|compressed] [-json FILE] [-only ids]
 //
 // -scale multiplies the default dataset sizes (~120k rectangles at 1.0;
 // the paper used 10-16.7M — scale 100 reproduces that on a large machine).
 // -workers sets the bulk-load pipeline's parallelism (default: GOMAXPROCS;
 // block-I/O counts are identical at any setting, only wall-clock changes).
+// -layout selects the on-disk page format every experiment builds with
+// (default raw, the paper's exact 36-byte-entry layout; the "layout"
+// experiment measures both formats regardless).
+// -json writes the results as JSON to the given file ("-" for stdout), the
+// producer for BENCH_*.json trajectory tracking: per-experiment rows plus
+// wall seconds and allocation counters.
 // -only selects a comma-separated subset of experiment ids, e.g.
 // "fig9,table1".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +32,32 @@ import (
 	"time"
 
 	"prtree/internal/experiments"
+	"prtree/internal/rtree"
 )
+
+// jsonExperiment is one experiment's machine-readable record.
+type jsonExperiment struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+	Notes      string     `json:"notes,omitempty"`
+	Seconds    float64    `json:"seconds"`
+	Allocs     uint64     `json:"allocs"`
+	AllocBytes uint64     `json:"alloc_bytes"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Scale        float64          `json:"scale"`
+	Queries      int              `json:"queries"`
+	Workers      int              `json:"workers"`
+	QueryWorkers int              `json:"qworkers"`
+	Layout       string           `json:"layout"`
+	Seed         int64            `json:"seed"`
+	TotalSeconds float64          `json:"total_seconds"`
+	Experiments  []jsonExperiment `json:"experiments"`
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset size multiplier")
@@ -31,17 +65,25 @@ func main() {
 	mem := flag.Int("mem", 0, "bulk-loading memory budget in records (0 = default 65536)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "bulk-load parallelism (1 = serial; I/O counts are identical at any setting)")
 	qworkers := flag.Int("qworkers", runtime.GOMAXPROCS(0), "highest worker count the query-throughput sweep reaches (I/O counts are identical at any setting)")
+	layoutFlag := flag.String("layout", "raw", "on-disk page layout for every experiment: raw (36 B entries, fanout 113) or compressed (12 B entries, fanout 338)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	seed := flag.Int64("seed", 2004, "generator seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	layout, err := rtree.ParseLayout(*layoutFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	ids := []string{
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15size", "fig15aspect", "fig15skewed",
 		"table1", "theorem3", "lemma2", "utilization",
 		"ablation-priority", "ablation-roundb", "ablation-cache",
-		"futurework", "throughput",
+		"futurework", "throughput", "layout",
 	}
 	if *list {
 		for _, id := range ids {
@@ -56,6 +98,7 @@ func main() {
 		MemoryItems:  *mem,
 		Workers:      *workers,
 		QueryWorkers: *qworkers,
+		Layout:       layout,
 		Seed:         *seed,
 	}
 	want := map[string]bool{}
@@ -96,18 +139,67 @@ func main() {
 		"ablation-cache":    experiments.AblationCache,
 		"futurework":        experiments.FutureWorkUpdates,
 		"throughput":        experiments.QueryThroughput,
+		"layout":            experiments.LayoutSweep,
 	}
 
-	fmt.Printf("PR-tree reproduction suite (scale=%g queries=%d workers=%d qworkers=%d seed=%d)\n\n", *scale, *queries, *workers, *qworkers, *seed)
+	jsonOnly := *jsonPath == "-"
+	if !jsonOnly {
+		fmt.Printf("PR-tree reproduction suite (scale=%g queries=%d workers=%d qworkers=%d layout=%s seed=%d)\n\n",
+			*scale, *queries, *workers, *qworkers, layout, *seed)
+	}
+	report := jsonReport{
+		Scale:        *scale,
+		Queries:      *queries,
+		Workers:      *workers,
+		QueryWorkers: *qworkers,
+		Layout:       layout.String(),
+		Seed:         *seed,
+	}
 	total := time.Now()
+	var before, after runtime.MemStats
 	for _, id := range ids {
 		if len(want) > 0 && !want[id] {
 			continue
 		}
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		table := runners[id](cfg)
-		fmt.Print(table.Render())
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if !jsonOnly {
+			fmt.Print(table.Render())
+			fmt.Printf("(%.1fs)\n\n", elapsed.Seconds())
+		}
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID:         table.ID,
+			Title:      table.Title,
+			Columns:    table.Columns,
+			Rows:       table.Rows,
+			Notes:      table.Notes,
+			Seconds:    elapsed.Seconds(),
+			Allocs:     after.Mallocs - before.Mallocs,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		})
 	}
-	fmt.Printf("total: %.1fs\n", time.Since(total).Seconds())
+	report.TotalSeconds = time.Since(total).Seconds()
+	if !jsonOnly {
+		fmt.Printf("total: %.1fs\n", report.TotalSeconds)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prbench: encoding json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if jsonOnly {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "prbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
 }

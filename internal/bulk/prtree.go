@@ -22,7 +22,7 @@ import (
 // tree answers any window query in O(sqrt(N/B) + T/B) I/Os.
 func PRTree(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
 	opt = opt.normalized(pager.Disk().BlockSize())
-	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split})
+	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split, Layout: opt.Layout})
 	if in.Len() == 0 {
 		in.Free()
 		return b.FinishEmpty()
@@ -37,12 +37,18 @@ func PRTree(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree
 		count := 0
 		var last rtree.ChildEntry
 		pseudo.BuildExternal(disk, cur, cfg, func(lg pseudo.LeafGroup) {
-			var entry rtree.ChildEntry
 			if level == 0 {
-				entry = b.WriteLeaf(lg.Items)
-			} else {
-				entry = b.WriteInternal(toChildEntries(lg.Items))
+				// A pseudo-leaf group may become several pages when the
+				// compressed layout falls back to raw; every page joins the
+				// next stage as its own bounding box.
+				for _, entry := range b.WriteLeaves(lg.Items) {
+					next.Append(geom.Item{Rect: entry.Rect, ID: uint32(entry.Page)})
+					last = entry
+					count++
+				}
+				return
 			}
+			entry := b.WriteInternal(toChildEntries(lg.Items))
 			next.Append(geom.Item{Rect: entry.Rect, ID: uint32(entry.Page)})
 			last = entry
 			count++

@@ -22,13 +22,27 @@ import (
 // O((N/B) log2 N) block transfers.
 func TGS(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
 	opt = opt.normalized(pager.Disk().BlockSize())
-	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split})
+	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split, Layout: opt.Layout})
 	n := in.Len()
 	if n == 0 {
 		in.Free()
 		return b.FinishEmpty()
 	}
 	disk := pager.Disk()
+	// TGS's top-down partition fixes the leaf group size before the groups
+	// are known, so under the compressed layout it runs one probe pass
+	// (N/B reads, dwarfed by TGS's O((N/B) log N) sort cost): when every
+	// coordinate sits on a power-of-two grid coarse enough that any subset
+	// quantizes losslessly, leaves pack at the full compressed capacity;
+	// otherwise TGS packs at the raw capacity — the size every page can
+	// hold — and takes the compressed win at the internal levels only.
+	// The stream packers (H, H4, STR, PR) decide per page instead.
+	leafCap := opt.Fanout
+	if opt.Layout == rtree.LayoutCompressed && !probeLossless(in) {
+		if raw := rtree.LayoutRaw.MaxFanout(disk.BlockSize()); raw < leafCap {
+			leafCap = raw
+		}
+	}
 	var lists [4]*storage.ItemFile
 	// The four orderings are independent; with Parallelism > 1 they sort
 	// concurrently (identical I/O counts — each sort performs its serial
@@ -40,15 +54,15 @@ func TGS(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
 		lists[d] = extsort.Sort(disk, in, extsort.AxisKey(d), scfg)
 	})
 	in.Free()
-	t := &tgsBuilder{disk: disk, b: b, fanout: opt.Fanout}
-	h := tgsHeight(n, opt.Fanout)
+	t := &tgsBuilder{disk: disk, b: b, fanout: opt.Fanout, leafCap: leafCap}
+	h := tgsHeight(n, leafCap, opt.Fanout)
 	root := t.build(lists, h)
 	return b.Finish(root, h)
 }
 
-// tgsHeight returns the minimum height h with fanout^h >= n.
-func tgsHeight(n, fanout int) int {
-	h, cap := 1, fanout
+// tgsHeight returns the minimum height h with leafCap*fanout^(h-1) >= n.
+func tgsHeight(n, leafCap, fanout int) int {
+	h, cap := 1, leafCap
 	for cap < n {
 		h++
 		cap *= fanout
@@ -57,9 +71,10 @@ func tgsHeight(n, fanout int) int {
 }
 
 type tgsBuilder struct {
-	disk   *storage.Disk
-	b      *rtree.Builder
-	fanout int
+	disk    *storage.Disk
+	b       *rtree.Builder
+	fanout  int
+	leafCap int
 }
 
 // orderKey is a point in the strict total order (coordinate, id) of one of
@@ -90,8 +105,9 @@ func (t *tgsBuilder) build(lists [4]*storage.ItemFile, h int) rtree.ChildEntry {
 		}
 		return t.b.WriteLeaf(items)
 	}
-	m := 1
-	for i := 0; i < h-1; i++ {
+	// m is the capacity of one height-(h-1) child subtree.
+	m := t.leafCap
+	for i := 0; i < h-2; i++ {
 		m *= t.fanout
 	}
 	var children []rtree.ChildEntry

@@ -39,13 +39,17 @@ type Config struct {
 	// experiment sweeps to (0 = GOMAXPROCS). Aggregate block-I/O is
 	// identical at every setting; only queries/sec changes.
 	QueryWorkers int
+	// Layout selects the on-disk page format every experiment builds with
+	// (default rtree.LayoutRaw, the paper's exact setup). The LayoutSweep
+	// experiment measures both layouts regardless of this setting.
+	Layout rtree.Layout
 	// Seed drives every generator.
 	Seed int64
 }
 
 // bulkOptions returns the loader options every experiment shares.
 func (c Config) bulkOptions() bulk.Options {
-	return bulk.Options{MemoryItems: c.MemoryItems, Parallelism: c.Workers}
+	return bulk.Options{MemoryItems: c.MemoryItems, Parallelism: c.Workers, Layout: c.Layout}
 }
 
 func (c Config) normalized() Config {
@@ -244,5 +248,6 @@ func All(cfg Config) []Table {
 		AblationCache(cfg),
 		FutureWorkUpdates(cfg),
 		QueryThroughput(cfg),
+		LayoutSweep(cfg),
 	}
 }

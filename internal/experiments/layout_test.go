@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"prtree/internal/bulk"
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/rtree"
+	"prtree/internal/workload"
+)
+
+// TestLayoutFig12Gate is the CI layout gate: one Figure 12 query workload
+// (1% squares on snapped Western data) under both layouts, for every
+// loader. It FAILS if the compressed layout's block I/O is not strictly
+// lower than raw, or if the result sets diverge.
+func TestLayoutFig12Gate(t *testing.T) {
+	cfg := Config{Scale: 0.25, Queries: 25}.normalized()
+	items := dataset.Snap(dataset.Western(cfg.n(120000), cfg.Seed), snapBits)
+	world := geom.ItemsMBR(items)
+	queries := workload.Squares(world, 0.01, cfg.Queries, cfg.Seed)
+
+	for _, l := range paperLoaders {
+		opt := cfg.bulkOptions()
+		opt.Layout = rtree.LayoutRaw
+		raw := measureLayout(l, items, opt, queries)
+		opt.Layout = rtree.LayoutCompressed
+		comp := measureLayout(l, items, opt, queries)
+		if comp.QueryIO >= raw.QueryIO {
+			t.Errorf("%s: compressed query block I/O %d not strictly below raw %d",
+				l, comp.QueryIO, raw.QueryIO)
+		}
+		if comp.Results != raw.Results || comp.ResultSum != raw.ResultSum {
+			t.Errorf("%s: results diverged between layouts: raw (%d, %d), compressed (%d, %d)",
+				l, raw.Results, raw.ResultSum, comp.Results, comp.ResultSum)
+		}
+		if comp.Fanout != rtree.LayoutCompressed.MaxFanout(4096) {
+			t.Errorf("%s: compressed fanout %d, want %d", l, comp.Fanout, rtree.LayoutCompressed.MaxFanout(4096))
+		}
+	}
+}
+
+// TestLayoutSweepTable sanity-checks the prbench table: every loader gets
+// a raw and a compressed row, results are flagged identical, and the
+// aggregate row exists.
+func TestLayoutSweepTable(t *testing.T) {
+	tab := LayoutSweep(Config{Scale: 0.1, Queries: 10})
+	if tab.ID != "layout" {
+		t.Fatalf("table id %q", tab.ID)
+	}
+	if want := 2*len(paperLoaders) + 1; len(tab.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), want)
+	}
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		if row[1] == "compressed" && !strings.Contains(row[len(row)-1], "identical results") {
+			t.Errorf("loader %s: %s", row[0], row[len(row)-1])
+		}
+	}
+}
+
+// TestFiguresRunUnderCompressedLayout replays a small Fig12 under
+// Config.Layout = compressed end to end (the prbench -layout path).
+func TestFiguresRunUnderCompressedLayout(t *testing.T) {
+	tab := Fig12(Config{Scale: 0.05, Queries: 5, Layout: rtree.LayoutCompressed})
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+// TestMeasureLayoutCountsLeafIO pins the measurement mode: with internals
+// pinned and no cache, query I/O equals leaf visits.
+func TestMeasureLayoutCountsLeafIO(t *testing.T) {
+	items := dataset.Snap(dataset.Western(8000, 3), snapBits)
+	world := geom.ItemsMBR(items)
+	queries := workload.Squares(world, 0.01, 10, 4)
+	res := measureLayout(bulk.LoaderPR, items, bulk.Options{MemoryItems: 1 << 14}, queries)
+	if res.QueryIO == 0 || res.Results == 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	if res.BuildIO == 0 || res.Pages == 0 {
+		t.Fatalf("missing build stats: %+v", res)
+	}
+}

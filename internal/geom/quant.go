@@ -1,0 +1,298 @@
+package geom
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file implements the fixed-point quantization behind the compressed
+// node layout: rectangles are stored as 16-bit offsets from an exact base
+// rectangle, rounded outward so every quantized rectangle conservatively
+// covers the true one. Interior R-tree levels can then filter with
+// quantized (integer) overlap tests — false positives only, never false
+// negatives — while exact refinement happens at the leaves, mirroring the
+// conservative-approximation line of work cited in PAPERS.md.
+
+// QMax is the largest quantized coordinate (16-bit fixed point).
+const QMax = 65535
+
+// QRect is a rectangle in the quantized coordinate space of some
+// Quantizer: four 16-bit offsets from the quantizer's base rectangle.
+type QRect struct {
+	MinX, MinY, MaxX, MaxY uint16
+}
+
+// Intersects reports whether q and s overlap in quantized space. For two
+// rectangles quantized outward by the same Quantizer this is a conservative
+// version of Rect.Intersects: it may report phantom overlaps (within one
+// quantization step) but never misses a true one.
+func (q QRect) Intersects(s QRect) bool {
+	return q.MinX <= s.MaxX && s.MinX <= q.MaxX &&
+		q.MinY <= s.MaxY && s.MinY <= q.MaxY
+}
+
+// Quantizer maps between exact coordinates and 16-bit fixed-point offsets
+// from a base rectangle. The step per axis is the smallest power of two
+// covering the base extent in QMax increments; power-of-two steps make the
+// scaling arithmetic exact, which is what lets leaf pages round-trip
+// grid-aligned coordinates losslessly.
+type Quantizer struct {
+	Base         Rect
+	StepX, StepY float64
+}
+
+// NewQuantizer derives the canonical quantizer of a base rectangle. The
+// steps are a pure function of the base, so a decoder holding only the base
+// reconstructs the identical quantizer.
+func NewQuantizer(base Rect) Quantizer {
+	return Quantizer{
+		Base:  base,
+		StepX: quantStep(base.MaxX - base.MinX),
+		StepY: quantStep(base.MaxY - base.MinY),
+	}
+}
+
+// quantStep returns the smallest power of two >= extent/QMax, or 0 for a
+// degenerate (or non-finite) extent.
+func quantStep(extent float64) float64 {
+	if !(extent > 0) || math.IsInf(extent, 1) {
+		return 0
+	}
+	f, e := math.Frexp(extent / QMax)
+	if f == 0.5 {
+		return math.Ldexp(1, e-1)
+	}
+	return math.Ldexp(1, e)
+}
+
+// Valid reports whether the quantizer can represent offsets at all: the
+// base must be a valid rectangle with finite corners.
+func (z Quantizer) Valid() bool {
+	return z.Base.Valid() &&
+		!math.IsInf(z.Base.MinX, 0) && !math.IsInf(z.Base.MaxX, 0) &&
+		!math.IsInf(z.Base.MinY, 0) && !math.IsInf(z.Base.MaxY, 0)
+}
+
+// DecodeX maps a quantized x offset back to an exact coordinate. The
+// mapping is monotone non-decreasing in q, pinned to the base extremes at
+// q == 0 and q == QMax and capped at the base maximum in between — the
+// pinning and cap absorb the floating-point edge cases of step derivation
+// so conservative covers always exist.
+func (z Quantizer) DecodeX(q uint16) float64 {
+	return decodeCoord(z.Base.MinX, z.Base.MaxX, z.StepX, q)
+}
+
+// DecodeY is DecodeX for the y axis.
+func (z Quantizer) DecodeY(q uint16) float64 {
+	return decodeCoord(z.Base.MinY, z.Base.MaxY, z.StepY, q)
+}
+
+func decodeCoord(lo, hi, step float64, q uint16) float64 {
+	if q == 0 {
+		return lo
+	}
+	if q == QMax {
+		return hi
+	}
+	v := lo + float64(q)*step
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Dequantize maps a quantized rectangle back to exact coordinates.
+func (z Quantizer) Dequantize(q QRect) Rect {
+	return Rect{
+		MinX: z.DecodeX(q.MinX),
+		MinY: z.DecodeY(q.MinY),
+		MaxX: z.DecodeX(q.MaxX),
+		MaxY: z.DecodeY(q.MaxY),
+	}
+}
+
+// qLE returns the largest q with decode(q) <= v, or 0 when even decode(0)
+// exceeds v. Binary search over the monotone decode keeps this exact in
+// every floating-point regime (including steps below one ulp of the base,
+// where decode plateaus).
+func qLE(lo, hi, step float64, v float64) uint16 {
+	if !(decodeCoord(lo, hi, step, 0) <= v) {
+		return 0
+	}
+	a, b := 0, QMax // int arithmetic: b-a+1 would overflow uint16
+	for a < b {
+		mid := a + (b-a+1)/2
+		if decodeCoord(lo, hi, step, uint16(mid)) <= v {
+			a = mid
+		} else {
+			b = mid - 1
+		}
+	}
+	return uint16(a)
+}
+
+// qGE returns the smallest q with decode(q) >= v, or QMax when no offset
+// reaches v.
+func qGE(lo, hi, step float64, v float64) uint16 {
+	if !(decodeCoord(lo, hi, step, QMax) >= v) {
+		return QMax
+	}
+	a, b := 0, QMax
+	for a < b {
+		mid := a + (b-a)/2
+		if decodeCoord(lo, hi, step, uint16(mid)) >= v {
+			b = mid
+		} else {
+			a = mid + 1
+		}
+	}
+	return uint16(a)
+}
+
+// plateauLeft returns the smallest q' with decode(q') == decode(q).
+func plateauLeft(lo, hi, step float64, q uint16) uint16 {
+	return qGE(lo, hi, step, decodeCoord(lo, hi, step, q))
+}
+
+// plateauRight returns the largest q' with decode(q') == decode(q).
+func plateauRight(lo, hi, step float64, q uint16) uint16 {
+	return qLE(lo, hi, step, decodeCoord(lo, hi, step, q))
+}
+
+// Cover quantizes r outward to the tightest conservative cover: the
+// dequantized result always contains r. r must lie within the base
+// rectangle (encoders set the base to the union of what they encode);
+// coordinates outside clamp to the base extremes, which keeps the result
+// well-defined but no longer covering.
+func (z Quantizer) Cover(r Rect) QRect {
+	return QRect{
+		MinX: qLE(z.Base.MinX, z.Base.MaxX, z.StepX, r.MinX),
+		MinY: qLE(z.Base.MinY, z.Base.MaxY, z.StepY, r.MinY),
+		MaxX: qGE(z.Base.MinX, z.Base.MaxX, z.StepX, r.MaxX),
+		MaxY: qGE(z.Base.MinY, z.Base.MaxY, z.StepY, r.MaxY),
+	}
+}
+
+// CoverQuery quantizes a query rectangle for filtering against entry
+// covers produced by Cover. Beyond outward rounding it widens each bound to
+// the far end of its decode plateau, which is exactly what makes
+// QRect.Intersects free of false negatives: if the true rectangles
+// intersect — even only at a boundary point sitting on a decode plateau —
+// the quantized ones do too.
+func (z Quantizer) CoverQuery(r Rect) QRect {
+	minX := qLE(z.Base.MinX, z.Base.MaxX, z.StepX, r.MinX)
+	minY := qLE(z.Base.MinY, z.Base.MaxY, z.StepY, r.MinY)
+	maxX := qGE(z.Base.MinX, z.Base.MaxX, z.StepX, r.MaxX)
+	maxY := qGE(z.Base.MinY, z.Base.MaxY, z.StepY, r.MaxY)
+	return QRect{
+		MinX: plateauLeft(z.Base.MinX, z.Base.MaxX, z.StepX, minX),
+		MinY: plateauLeft(z.Base.MinY, z.Base.MaxY, z.StepY, minY),
+		MaxX: plateauRight(z.Base.MinX, z.Base.MaxX, z.StepX, maxX),
+		MaxY: plateauRight(z.Base.MinY, z.Base.MaxY, z.StepY, maxY),
+	}
+}
+
+// Lossless quantizes r only if every corner round-trips bit-exactly
+// through the fixed-point encoding; ok reports success. Leaf pages use it:
+// a lossless page stores 12-byte entries yet decodes the identical
+// float64 coordinates, keeping query results bit-exact.
+func (z Quantizer) Lossless(r Rect) (QRect, bool) {
+	qr := QRect{}
+	var ok bool
+	if qr.MinX, ok = losslessCoord(z.Base.MinX, z.Base.MaxX, z.StepX, r.MinX); !ok {
+		return QRect{}, false
+	}
+	if qr.MinY, ok = losslessCoord(z.Base.MinY, z.Base.MaxY, z.StepY, r.MinY); !ok {
+		return QRect{}, false
+	}
+	if qr.MaxX, ok = losslessCoord(z.Base.MinX, z.Base.MaxX, z.StepX, r.MaxX); !ok {
+		return QRect{}, false
+	}
+	if qr.MaxY, ok = losslessCoord(z.Base.MinY, z.Base.MaxY, z.StepY, r.MaxY); !ok {
+		return QRect{}, false
+	}
+	return qr, true
+}
+
+func losslessCoord(lo, hi, step float64, v float64) (uint16, bool) {
+	q := qLE(lo, hi, step, v)
+	if decodeCoord(lo, hi, step, q) == v {
+		return q, true
+	}
+	return 0, false
+}
+
+// LosslessProbe accumulates a sufficient condition for global lossless
+// quantization: if every coordinate lies on a power-of-two grid and the
+// world extent per axis is at most QMax grid cells, then ANY subset of the
+// rectangles quantizes losslessly against its own bounding box (the subset
+// range is no wider than the world's, so the canonical step divides the
+// grid and every delta round-trips exactly). Loaders whose leaf grouping
+// must be fixed before the groups are known (TGS) use one probe pass to
+// decide whether they may pack leaves at the compressed capacity.
+type LosslessProbe struct {
+	any bool
+	bad bool // non-finite coordinate seen
+	gx  int  // min power-of-two exponent over all x coordinates
+	gy  int
+	w   Rect
+}
+
+// NewLosslessProbe returns an empty probe.
+func NewLosslessProbe() LosslessProbe {
+	return LosslessProbe{gx: 1 << 30, gy: 1 << 30, w: EmptyRect()}
+}
+
+// Add folds one rectangle into the probe.
+func (p *LosslessProbe) Add(r Rect) {
+	for _, v := range [4]float64{r.MinX, r.MaxX, r.MinY, r.MaxY} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			p.bad = true
+			return
+		}
+	}
+	p.any = true
+	p.gx = minInt(p.gx, minInt(gridExp(r.MinX), gridExp(r.MaxX)))
+	p.gy = minInt(p.gy, minInt(gridExp(r.MinY), gridExp(r.MaxY)))
+	p.w = p.w.Union(r)
+}
+
+// Guaranteed reports whether every subset of the added rectangles is
+// certain to quantize losslessly.
+func (p *LosslessProbe) Guaranteed() bool {
+	if p.bad {
+		return false
+	}
+	if !p.any {
+		return true
+	}
+	// Both extents and grids are exact powers-of-two multiples, so these
+	// divisions are exact for in-range quotients and safely oversized
+	// otherwise; the comparison never misclassifies.
+	return p.w.Width()/math.Ldexp(1, p.gx) <= QMax &&
+		p.w.Height()/math.Ldexp(1, p.gy) <= QMax
+}
+
+// gridExp returns the exponent e of the largest power of two 2^e dividing
+// v exactly, or a huge sentinel for v == 0 (which lies on every grid).
+func gridExp(v float64) int {
+	if v == 0 {
+		return 1 << 30
+	}
+	b := math.Float64bits(v)
+	exp := int(b >> 52 & 0x7ff)
+	mant := b & (1<<52 - 1)
+	if exp == 0 {
+		exp = 1 // subnormal: same 2^(1-1075) scale, no implicit bit
+	} else {
+		mant |= 1 << 52
+	}
+	return exp - 1075 + bits.TrailingZeros64(mant)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBase returns a random valid finite base rectangle, occasionally
+// degenerate or with nasty magnitude spreads.
+func randBase(rng *rand.Rand) Rect {
+	switch rng.Intn(5) {
+	case 0: // tiny range at a large offset: decode plateaus (step < ulp)
+		x := 1e15 + rng.Float64()
+		y := -1e12 + rng.Float64()
+		return NewRect(x, y, x+rng.Float64()*1e-3, y+rng.Float64()*1e-6)
+	case 1: // degenerate axes
+		x, y := rng.Float64(), rng.Float64()
+		return NewRect(x, y, x, y+rng.Float64())
+	case 2: // huge range
+		return NewRect(-rng.Float64()*1e30, -rng.Float64()*1e30, rng.Float64()*1e30, rng.Float64()*1e30)
+	default:
+		x, y := rng.Float64()*100-50, rng.Float64()*100-50
+		return NewRect(x, y, x+rng.Float64()*10, y+rng.Float64()*10)
+	}
+}
+
+// randWithin returns a random sub-rectangle of base.
+func randWithin(rng *rand.Rand, base Rect) Rect {
+	x1 := base.MinX + rng.Float64()*base.Width()
+	x2 := base.MinX + rng.Float64()*base.Width()
+	y1 := base.MinY + rng.Float64()*base.Height()
+	y2 := base.MinY + rng.Float64()*base.Height()
+	return NewRect(x1, y1, x2, y2)
+}
+
+func TestCoverIsConservative(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			base := randBase(rng)
+			z := NewQuantizer(base)
+			if !z.Valid() {
+				t.Fatalf("quantizer invalid for finite base %v", base)
+			}
+			r := randWithin(rng, base)
+			cover := z.Dequantize(z.Cover(r))
+			if !cover.Contains(r) {
+				t.Fatalf("seed %d: cover %v does not contain %v (base %v, steps %g/%g)",
+					seed, cover, r, base, z.StepX, z.StepY)
+			}
+		}
+	}
+}
+
+func TestCoverTightWithinOneStep(t *testing.T) {
+	// In the healthy regime (steps far above one ulp of the base), the
+	// tightest cover is within one quantization step per side.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Float64()*100-50, rng.Float64()*100-50
+		base := NewRect(x, y, x+1+rng.Float64()*10, y+1+rng.Float64()*10)
+		z := NewQuantizer(base)
+		r := randWithin(rng, base)
+		cover := z.Dequantize(z.Cover(r))
+		if cover.MinX < r.MinX-2*z.StepX || cover.MinY < r.MinY-2*z.StepY ||
+			cover.MaxX > r.MaxX+2*z.StepX || cover.MaxY > r.MaxY+2*z.StepY {
+			t.Fatalf("cover %v too loose for %v (steps %g/%g)", cover, r, z.StepX, z.StepY)
+		}
+	}
+}
+
+func TestCoverQueryNoFalseNegatives(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		for i := 0; i < 3000; i++ {
+			base := randBase(rng)
+			z := NewQuantizer(base)
+			entry := randWithin(rng, base)
+			qe := z.Cover(entry)
+			// Query may poke outside the base.
+			query := randWithin(rng, base)
+			if rng.Intn(4) == 0 {
+				query.MaxX += base.Width()
+				query.MinY -= base.Height()
+			}
+			qq := z.CoverQuery(query)
+			if entry.Intersects(query) && !qe.Intersects(qq) {
+				t.Fatalf("seed %d: false negative: entry %v (q %v) query %v (q %v) base %v",
+					seed, entry, qe, query, qq, base)
+			}
+		}
+	}
+}
+
+func TestLosslessRoundTripOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const bits = 16
+	scale := math.Ldexp(1, bits)
+	inv := math.Ldexp(1, -bits)
+	snap := func(v float64) float64 { return math.Floor(v*scale) * inv }
+	for i := 0; i < 2000; i++ {
+		// Grid-aligned rectangles in the unit square.
+		rects := make([]Rect, 1+rng.Intn(40))
+		mbr := EmptyRect()
+		for j := range rects {
+			x1, y1 := snap(rng.Float64()), snap(rng.Float64())
+			x2, y2 := snap(rng.Float64()), snap(rng.Float64())
+			rects[j] = NewRect(x1, y1, x2, y2)
+			mbr = mbr.Union(rects[j])
+		}
+		z := NewQuantizer(mbr)
+		for _, r := range rects {
+			qr, ok := z.Lossless(r)
+			if !ok {
+				t.Fatalf("grid rect %v did not quantize losslessly against %v", r, mbr)
+			}
+			if got := z.Dequantize(qr); got != r {
+				t.Fatalf("lossless round trip changed %v into %v", r, got)
+			}
+		}
+	}
+}
+
+func TestLosslessRejectsOffGrid(t *testing.T) {
+	// Full-precision random coordinates essentially never land on the
+	// 16-bit fixed-point lattice; Lossless must refuse rather than distort.
+	rng := rand.New(rand.NewSource(12))
+	refused := 0
+	for i := 0; i < 500; i++ {
+		base := NewRect(0, 0, 1+rng.Float64(), 1+rng.Float64())
+		z := NewQuantizer(base)
+		r := randWithin(rng, base)
+		qr, ok := z.Lossless(r)
+		if !ok {
+			refused++
+			continue
+		}
+		if got := z.Dequantize(qr); got != r {
+			t.Fatalf("Lossless accepted %v but decodes to %v", r, got)
+		}
+	}
+	if refused < 400 {
+		t.Fatalf("only %d/500 off-grid rects refused — Lossless is not verifying", refused)
+	}
+}
+
+func TestLosslessProbeGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const bits = 16
+	scale := math.Ldexp(1, bits)
+	inv := math.Ldexp(1, -bits)
+	p := NewLosslessProbe()
+	var rects []Rect
+	for i := 0; i < 500; i++ {
+		x1 := math.Floor(rng.Float64()*scale) * inv
+		y1 := math.Floor(rng.Float64()*scale) * inv
+		r := NewRect(x1, y1, x1+math.Floor(rng.Float64()*100)*inv, y1+math.Floor(rng.Float64()*100)*inv)
+		rects = append(rects, r)
+		p.Add(r)
+	}
+	if !p.Guaranteed() {
+		t.Fatal("16-bit-grid unit-square data must be guaranteed lossless")
+	}
+	// The guarantee must actually hold: every random subset quantizes
+	// losslessly against its own bounding box.
+	for trial := 0; trial < 50; trial++ {
+		var sub []Rect
+		mbr := EmptyRect()
+		for _, r := range rects {
+			if rng.Intn(3) == 0 {
+				sub = append(sub, r)
+				mbr = mbr.Union(r)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		z := NewQuantizer(mbr)
+		for _, r := range sub {
+			if _, ok := z.Lossless(r); !ok {
+				t.Fatalf("guaranteed subset failed to quantize: %v against %v", r, mbr)
+			}
+		}
+	}
+
+	// Off-grid data must not be guaranteed.
+	p2 := NewLosslessProbe()
+	for i := 0; i < 50; i++ {
+		p2.Add(NewRect(rng.Float64(), rng.Float64(), 1+rng.Float64(), 1+rng.Float64()))
+	}
+	if p2.Guaranteed() {
+		t.Fatal("full-precision random data should not be guaranteed lossless")
+	}
+
+	// Non-finite coordinates disqualify outright.
+	p3 := NewLosslessProbe()
+	p3.Add(Rect{MinX: 0, MinY: 0, MaxX: math.Inf(1), MaxY: 1})
+	if p3.Guaranteed() {
+		t.Fatal("infinite coordinates cannot be guaranteed")
+	}
+}
+
+func TestQuantizerInvalidForInfiniteBase(t *testing.T) {
+	if NewQuantizer(WorldRect()).Valid() {
+		t.Fatal("infinite base must be invalid")
+	}
+	if !NewQuantizer(NewRect(0, 0, 0, 0)).Valid() {
+		t.Fatal("degenerate point base is fine")
+	}
+}
+
+func TestDecodePinnedEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 1000; i++ {
+		base := randBase(rng)
+		z := NewQuantizer(base)
+		if z.DecodeX(0) != base.MinX || z.DecodeX(QMax) != base.MaxX ||
+			z.DecodeY(0) != base.MinY || z.DecodeY(QMax) != base.MaxY {
+			t.Fatalf("endpoints not pinned for base %v", base)
+		}
+		// Monotone: spot-check a random ascending pair.
+		a := uint16(rng.Intn(QMax))
+		b := a + uint16(rng.Intn(QMax-int(a))) + 1
+		if z.DecodeX(a) > z.DecodeX(b) {
+			t.Fatalf("decode not monotone at %d,%d for base %v", a, b, base)
+		}
+	}
+}

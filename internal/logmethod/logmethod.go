@@ -16,6 +16,7 @@ package logmethod
 
 import (
 	"fmt"
+	"sync"
 
 	"prtree/internal/bulk"
 	"prtree/internal/geom"
@@ -26,22 +27,28 @@ import (
 // Tree is a dynamic spatial index over the logarithmic method.
 // Item IDs must be unique across live items; Delete identifies items by
 // (rect, id).
+//
+// The bulk.Options passed to New — including Options.Layout — apply to
+// every static level the structure builds, so the logarithmic method runs
+// on compressed pages the same way the one-shot loaders do.
 type Tree struct {
-	pager  *storage.Pager
-	opt    bulk.Options
-	base   int
-	buffer []geom.Item
-	levels []*rtree.Tree // levels[i] is nil or holds ~base*2^i items
-	dead   map[uint32]geom.Rect
-	live   int // live items (excludes tombstoned ones)
-	stored int // items physically present in buffer+levels
+	pager    *storage.Pager
+	opt      bulk.Options
+	base     int
+	buffer   []geom.Item
+	levels   []*rtree.Tree // levels[i] is nil or holds ~base*2^i items
+	dead     map[uint32]geom.Rect
+	live     int       // live items (excludes tombstoned ones)
+	stored   int       // items physically present in buffer+levels
+	visitors sync.Pool // query-path scratch (*levelVisitor)
+	rebuf    []geom.Item
 }
 
 // New creates an empty dynamic tree. base is the buffer capacity (0 means
-// one leaf's worth, i.e. the fanout).
+// one leaf's worth, i.e. the layout's fanout).
 func New(pager *storage.Pager, opt bulk.Options, base int) *Tree {
 	if base <= 0 {
-		base = rtree.MaxFanout(pager.Disk().BlockSize())
+		base = opt.Layout.MaxFanout(pager.Disk().BlockSize())
 	}
 	return &Tree{
 		pager: pager,
@@ -87,14 +94,15 @@ func (t *Tree) Insert(it geom.Item) {
 }
 
 // carry merges the buffer and the occupied prefix of levels into the first
-// empty level.
+// empty level. The merge buffer is retained across carries (rebuf): every
+// insertion that fills the in-memory buffer triggers one, so reusing the
+// slice keeps the steady-state insert path allocation-lean.
 func (t *Tree) carry() {
 	k := 0
 	for k < len(t.levels) && t.levels[k] != nil {
 		k++
 	}
-	items := make([]geom.Item, 0, t.base<<uint(k))
-	items = append(items, t.buffer...)
+	items := append(t.rebuf[:0], t.buffer...)
 	t.buffer = t.buffer[:0]
 	for i := 0; i < k; i++ {
 		items = append(items, t.levels[i].Items()...)
@@ -103,6 +111,15 @@ func (t *Tree) carry() {
 	}
 	for k >= len(t.levels) {
 		t.levels = append(t.levels, nil)
+	}
+	// Retain only modestly sized buffers: small carries (the geometrically
+	// common case) hit every base insertions, while a full-prefix carry is
+	// rare and O(N)-sized — keeping that one alive would pin the largest
+	// merge ever seen for the tree's lifetime.
+	if cap(items) <= 16*t.base {
+		t.rebuf = items
+	} else {
+		t.rebuf = nil
 	}
 	t.levels[k] = bulk.FromItems(bulk.LoaderPR, t.pager, items, t.opt)
 }
@@ -203,6 +220,45 @@ type QueryStats struct {
 	Results       int
 }
 
+// levelVisitor is pooled query-path scratch: it holds the per-query state
+// the per-level callback closes over and owns one pre-bound closure
+// (visit), created once per pooled instance. Pooling it — the same
+// treatment PR 3 gave the rtree/prtreed traversal stacks — means a
+// steady-state Query allocates nothing for its traversal plumbing, however
+// many static levels it fans across. Nested queries (issued from fn) each
+// grab their own visitor.
+type levelVisitor struct {
+	t       *Tree
+	st      *QueryStats
+	fn      func(geom.Item) bool
+	aborted bool
+	visit   func(geom.Item) bool
+}
+
+func (t *Tree) grabVisitor() *levelVisitor {
+	v, _ := t.visitors.Get().(*levelVisitor)
+	if v == nil {
+		v = &levelVisitor{}
+		v.visit = func(it geom.Item) bool {
+			if _, gone := v.t.dead[it.ID]; gone {
+				return true
+			}
+			v.st.Results++
+			if v.fn != nil && !v.fn(it) {
+				v.aborted = true
+				return false
+			}
+			return true
+		}
+	}
+	return v
+}
+
+func (t *Tree) releaseVisitor(v *levelVisitor) {
+	v.t, v.st, v.fn = nil, nil, nil
+	t.visitors.Put(v)
+}
+
 // Query reports every live rectangle intersecting q. Each static level is
 // queried with its optimal PR-tree bound, so the total cost is
 // O(log(N/base) * sqrt(N/B) + T/B) I/Os.
@@ -216,25 +272,17 @@ func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 			}
 		}
 	}
+	v := t.grabVisitor()
+	defer t.releaseVisitor(v)
+	v.t, v.st, v.fn, v.aborted = t, &st, fn, false
 	for _, l := range t.levels {
 		if l == nil {
 			continue
 		}
-		aborted := false
-		ls := l.Query(q, func(it geom.Item) bool {
-			if _, gone := t.dead[it.ID]; gone {
-				return true
-			}
-			st.Results++
-			if fn != nil && !fn(it) {
-				aborted = true
-				return false
-			}
-			return true
-		})
+		ls := l.Query(q, v.visit)
 		st.LeavesVisited += ls.LeavesVisited
 		st.NodesVisited += ls.NodesVisited
-		if aborted {
+		if v.aborted {
 			return st
 		}
 	}

@@ -1,0 +1,184 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"math"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// This file implements the compressed page format (LayoutCompressed): the
+// header grows by one exact base MBR and every entry shrinks from 36 to 12
+// bytes — four 16-bit fixed-point corner offsets from the base plus the
+// 4-byte reference — tripling fanout (113 -> 338 at 4 KB).
+//
+// Correctness contract:
+//
+//   - Internal entries are rounded OUTWARD (geom.Quantizer.Cover), so a
+//     stored rectangle always contains the child's true MBR. Traversal over
+//     covers can only visit extra subtrees, never skip one, and k-NN node
+//     distances computed on covers are admissible lower bounds.
+//   - Leaf entries are stored compressed only when every coordinate
+//     round-trips bit-exactly (geom.Quantizer.Lossless); otherwise the
+//     leaf page falls back to the raw format. Leaf coordinates are
+//     therefore exact under both layouts and query/k-NN results never
+//     change.
+//
+// Pages carry the format in header flag bit 0, so both formats interoperate
+// freely inside one tree (e.g. raw fallback leaves under compressed
+// internal levels).
+
+// flagCompressed marks a compressed page in header byte 1 (raw pages,
+// including all pre-existing ones, store 0 there).
+const flagCompressed byte = 1
+
+// pageIsCompressed inspects a page header.
+func pageIsCompressed(data []byte) bool { return data[1]&flagCompressed != 0 }
+
+// encodeCompressedHeader stamps kind, the compressed flag, the count and
+// the base MBR.
+func encodeCompressedHeader(buf []byte, kind byte, cnt int, base geom.Rect) {
+	buf[0] = kind
+	buf[1] = flagCompressed
+	buf[2] = byte(cnt)
+	buf[3] = byte(cnt >> 8)
+	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(base.MinX))
+	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(base.MinY))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(base.MaxX))
+	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(base.MaxY))
+}
+
+// decodeBase reads the base MBR of a compressed page header.
+func decodeBase(data []byte) geom.Rect {
+	return geom.Rect{
+		MinX: math.Float64frombits(binary.LittleEndian.Uint64(data[4:])),
+		MinY: math.Float64frombits(binary.LittleEndian.Uint64(data[12:])),
+		MaxX: math.Float64frombits(binary.LittleEndian.Uint64(data[20:])),
+		MaxY: math.Float64frombits(binary.LittleEndian.Uint64(data[28:])),
+	}
+}
+
+// compressedFits reports whether cnt compressed entries fit the buffer.
+func compressedFits(buf []byte, cnt int) bool {
+	return compHeaderSize+cnt*compEntrySize <= len(buf)
+}
+
+// encodeCompressedLeaf writes items as a compressed leaf page if every
+// coordinate quantizes losslessly, returning the encoded prefix, the exact
+// leaf MBR and ok=true; ok=false (with buf untouched beyond scratch) means
+// the caller must fall back to the raw format.
+func encodeCompressedLeaf(buf []byte, items []geom.Item) ([]byte, geom.Rect, bool) {
+	if len(items) == 0 || !compressedFits(buf, len(items)) {
+		return nil, geom.Rect{}, false
+	}
+	mbr := geom.ItemsMBR(items)
+	z := geom.NewQuantizer(mbr)
+	if !z.Valid() {
+		return nil, geom.Rect{}, false
+	}
+	off := compHeaderSize
+	for _, it := range items {
+		qr, ok := z.Lossless(it.Rect)
+		if !ok {
+			return nil, geom.Rect{}, false
+		}
+		storage.EncodeQEntry(buf[off:], qr, it.ID)
+		off += compEntrySize
+	}
+	encodeCompressedHeader(buf, kindLeaf, len(items), mbr)
+	return buf[:off], mbr, true
+}
+
+// encodeCompressedInternal writes children as a compressed internal page,
+// rounding every entry outward. It fails (ok=false) only when the base MBR
+// is unquantizable (non-finite coordinates) or the buffer is too small.
+// The returned MBR is the canonical page MBR: the union of the DECODED
+// covers, which is what any reader of the page will reconstruct — parents
+// must store this, not the pre-quantization union.
+func encodeCompressedInternal(buf []byte, children []ChildEntry) ([]byte, geom.Rect, bool) {
+	if len(children) == 0 || !compressedFits(buf, len(children)) {
+		return nil, geom.Rect{}, false
+	}
+	base := geom.EmptyRect()
+	for _, c := range children {
+		base = base.Union(c.Rect)
+	}
+	z := geom.NewQuantizer(base)
+	if !z.Valid() {
+		return nil, geom.Rect{}, false
+	}
+	mbr := geom.EmptyRect()
+	off := compHeaderSize
+	for _, c := range children {
+		qr := z.Cover(c.Rect)
+		storage.EncodeQEntry(buf[off:], qr, uint32(c.Page))
+		mbr = mbr.Union(z.Dequantize(qr))
+		off += compEntrySize
+	}
+	encodeCompressedHeader(buf, kindInternal, len(children), base)
+	return buf[:off], mbr, true
+}
+
+// encodeCompressedInternalNode is encodeCompressedInternal over a
+// materialized node. On success it canonicalizes n.rects in place to the
+// decoded covers, so the node memoized in the pager's decoded cache is
+// byte-equivalent to what decodeNode would parse from the page.
+func encodeCompressedInternalNode(buf []byte, n *node) ([]byte, bool) {
+	if n.count() == 0 || !compressedFits(buf, n.count()) {
+		return nil, false
+	}
+	base := geom.EmptyRect()
+	for _, r := range n.rects {
+		base = base.Union(r)
+	}
+	z := geom.NewQuantizer(base)
+	if !z.Valid() {
+		return nil, false
+	}
+	off := compHeaderSize
+	for i := range n.rects {
+		qr := z.Cover(n.rects[i])
+		storage.EncodeQEntry(buf[off:], qr, n.refs[i])
+		n.rects[i] = z.Dequantize(qr)
+		off += compEntrySize
+	}
+	encodeCompressedHeader(buf, kindInternal, n.count(), base)
+	return buf[:off], true
+}
+
+// leafQuantizesLossless reports whether a leaf node's rectangles can all
+// be stored compressed without changing a single bit. The mutation paths
+// use it to pick the leaf's effective capacity before deciding to split.
+func leafQuantizesLossless(n *node) bool {
+	if n.count() == 0 {
+		return false
+	}
+	mbr := geom.EmptyRect()
+	for _, r := range n.rects {
+		mbr = mbr.Union(r)
+	}
+	z := geom.NewQuantizer(mbr)
+	if !z.Valid() {
+		return false
+	}
+	for _, r := range n.rects {
+		if _, ok := z.Lossless(r); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// internalQuantizes reports whether an internal node can be stored
+// compressed: its entries' union must be finite.
+func internalQuantizes(n *node) bool {
+	if n.count() == 0 {
+		return false
+	}
+	base := geom.EmptyRect()
+	for _, r := range n.rects {
+		base = base.Union(r)
+	}
+	return geom.NewQuantizer(base).Valid()
+}

@@ -1,0 +1,279 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prtree/internal/geom"
+	"prtree/internal/storage"
+)
+
+// gridItems returns items whose coordinates sit on the 2^-bits grid in the
+// unit square — the regime compressed leaves store losslessly.
+func gridItems(n int, bits uint, seed int64) []geom.Item {
+	rng := rand.New(rand.NewSource(seed))
+	scale := math.Ldexp(1, int(bits))
+	inv := math.Ldexp(1, -int(bits))
+	snap := func(v float64) float64 { return math.Floor(v*scale) * inv }
+	items := make([]geom.Item, n)
+	for i := range items {
+		// Keep extents within one unit so any subset's range stays below
+		// the 65535-grid-cell lossless threshold.
+		x, y := snap(rng.Float64()*0.9), snap(rng.Float64()*0.9)
+		items[i] = geom.Item{
+			Rect: geom.NewRect(x, y, x+snap(rng.Float64()*0.05), y+snap(rng.Float64()*0.05)),
+			ID:   uint32(i),
+		}
+	}
+	return items
+}
+
+func TestLayoutTable(t *testing.T) {
+	cases := []struct {
+		layout Layout
+		block  int
+		fanout int
+	}{
+		{LayoutRaw, 4096, 113},
+		{LayoutCompressed, 4096, 338},
+		{LayoutRaw, 512, 14},
+		{LayoutCompressed, 512, 39},
+		{LayoutRaw, 1024, 28},
+		{LayoutCompressed, 1024, 82},
+		{LayoutRaw, 8192, 227},
+		{LayoutCompressed, 8192, 679},
+	}
+	for _, c := range cases {
+		if got := c.layout.MaxFanout(c.block); got != c.fanout {
+			t.Errorf("%s.MaxFanout(%d) = %d, want %d", c.layout, c.block, got, c.fanout)
+		}
+	}
+	if LayoutRaw.EntrySize() != 36 || LayoutCompressed.EntrySize() != 12 {
+		t.Errorf("entry sizes %d/%d, want 36/12", LayoutRaw.EntrySize(), LayoutCompressed.EntrySize())
+	}
+	for _, s := range []string{"raw", "compressed"} {
+		l, err := ParseLayout(s)
+		if err != nil || l.String() != s {
+			t.Errorf("ParseLayout(%q) = %v, %v", s, l, err)
+		}
+	}
+	if _, err := ParseLayout("sideways"); err == nil {
+		t.Error("ParseLayout accepted garbage")
+	}
+}
+
+func TestCompressedLeafLosslessRoundTrip(t *testing.T) {
+	items := gridItems(300, 16, 1)
+	buf := make([]byte, storage.DefaultBlockSize)
+	data, mbr, ok := encodeCompressedLeaf(buf, items)
+	if !ok {
+		t.Fatal("grid items must encode losslessly")
+	}
+	if want := geom.ItemsMBR(items); mbr != want {
+		t.Fatalf("mbr %v, want %v", mbr, want)
+	}
+	if !pageIsCompressed(data) {
+		t.Fatal("page not flagged compressed")
+	}
+	if want := compHeaderSize + len(items)*compEntrySize; len(data) != want {
+		t.Fatalf("page size %d, want %d", len(data), want)
+	}
+
+	v := makeView(data)
+	if !v.isLeaf() || v.count() != len(items) {
+		t.Fatalf("header: leaf=%v count=%d", v.isLeaf(), v.count())
+	}
+	for i, it := range items {
+		if got := v.rectAt(i); got != it.Rect {
+			t.Fatalf("rectAt(%d) = %v, want %v (must be bit-exact)", i, got, it.Rect)
+		}
+		if v.refAt(i) != it.ID {
+			t.Fatalf("refAt(%d) = %d, want %d", i, v.refAt(i), it.ID)
+		}
+		if got := v.itemAt(i); got != it {
+			t.Fatalf("itemAt(%d) = %v, want %v", i, got, it)
+		}
+	}
+
+	// decodeNode must agree with the view entry for entry.
+	n := decodeNode(data)
+	for i := range items {
+		if n.rects[i] != items[i].Rect || n.refs[i] != items[i].ID {
+			t.Fatalf("decodeNode entry %d = %v/%d", i, n.rects[i], n.refs[i])
+		}
+	}
+}
+
+func TestCompressedLeafFallsBackToRaw(t *testing.T) {
+	items := randItems(50, 2) // full-precision coordinates: not lossless
+	buf := make([]byte, storage.DefaultBlockSize)
+	if _, _, ok := encodeCompressedLeaf(buf, items); ok {
+		t.Fatal("full-precision items should not encode losslessly")
+	}
+	data := encodeNode(buf, &node{kind: kindLeaf,
+		rects: rectsOf(items), refs: refsOf(items)}, LayoutCompressed)
+	if pageIsCompressed(data) {
+		t.Fatal("fallback page must be raw")
+	}
+	v := makeView(data)
+	for i, it := range items {
+		if v.rectAt(i) != it.Rect || v.refAt(i) != it.ID {
+			t.Fatalf("raw fallback entry %d mismatch", i)
+		}
+	}
+}
+
+func rectsOf(items []geom.Item) []geom.Rect {
+	out := make([]geom.Rect, len(items))
+	for i := range items {
+		out[i] = items[i].Rect
+	}
+	return out
+}
+
+func refsOf(items []geom.Item) []uint32 {
+	out := make([]uint32, len(items))
+	for i := range items {
+		out[i] = items[i].ID
+	}
+	return out
+}
+
+func TestCompressedInternalCoversChildren(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	children := make([]ChildEntry, 330)
+	for i := range children {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		children[i] = ChildEntry{
+			Rect: geom.NewRect(x, y, x+rng.Float64(), y+rng.Float64()),
+			Page: storage.PageID(i * 3),
+		}
+	}
+	buf := make([]byte, storage.DefaultBlockSize)
+	data, mbr, ok := encodeCompressedInternal(buf, children)
+	if !ok {
+		t.Fatal("finite children must encode")
+	}
+	v := makeView(data)
+	if v.isLeaf() || v.count() != len(children) {
+		t.Fatalf("header: leaf=%v count=%d", v.isLeaf(), v.count())
+	}
+	union := geom.EmptyRect()
+	for i, c := range children {
+		got := v.rectAt(i)
+		if !got.Contains(c.Rect) {
+			t.Fatalf("entry %d cover %v does not contain %v", i, got, c.Rect)
+		}
+		if v.refAt(i) != uint32(c.Page) {
+			t.Fatalf("entry %d ref %d, want %d", i, v.refAt(i), c.Page)
+		}
+		union = union.Union(got)
+	}
+	// The returned MBR must be the canonical (decoded) union, not the
+	// pre-quantization one: parents store what readers reconstruct.
+	if union != mbr {
+		t.Fatalf("canonical mbr %v, decoded union %v", mbr, union)
+	}
+	if got := v.mbr(); got != mbr {
+		t.Fatalf("view mbr %v, want %v", got, mbr)
+	}
+}
+
+func TestEncodeNodeCanonicalizesInternalRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := &node{kind: kindInternal}
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		n.append(geom.NewRect(x, y, x+rng.Float64()*0.1, y+rng.Float64()*0.1), uint32(i))
+	}
+	buf := make([]byte, storage.DefaultBlockSize)
+	data := encodeNode(buf, n, LayoutCompressed)
+	if !pageIsCompressed(data) {
+		t.Fatal("internal node must compress")
+	}
+	// After encoding, the in-memory node must match the page bit for bit —
+	// that is what keeps the pager's decoded cache coherent.
+	decoded := decodeNode(data)
+	for i := range n.rects {
+		if n.rects[i] != decoded.rects[i] {
+			t.Fatalf("entry %d not canonicalized: node %v, page %v", i, n.rects[i], decoded.rects[i])
+		}
+	}
+}
+
+func TestInternalQuantizesRejectsInfinite(t *testing.T) {
+	n := &node{kind: kindInternal}
+	n.append(geom.NewRect(0, 0, 1, 1), 1)
+	if !internalQuantizes(n) {
+		t.Fatal("finite internal node must quantize")
+	}
+	n.append(geom.WorldRect(), 2)
+	if internalQuantizes(n) {
+		t.Fatal("infinite union cannot quantize")
+	}
+	buf := make([]byte, storage.DefaultBlockSize)
+	if data := encodeNode(buf, n, LayoutCompressed); pageIsCompressed(data) {
+		t.Fatal("infinite internal node must fall back to raw")
+	}
+}
+
+// BenchmarkNodeDecode compares a full intersection scan over a max-fanout
+// page in both layouts through the zero-copy view, plus the eager decode.
+// The view paths must stay at 0 allocs/op — the CI bench smoke guards
+// this for the compressed path like PR 1 did for raw.
+func BenchmarkNodeDecode(b *testing.B) {
+	items := gridItems(338, 16, 5)
+	buf := make([]byte, storage.DefaultBlockSize)
+	compData, _, ok := encodeCompressedLeaf(buf, items)
+	if !ok {
+		b.Fatal("grid items must compress")
+	}
+	compData = append([]byte(nil), compData...)
+	rawData, _ := encodeRawLeafPage(make([]byte, storage.DefaultBlockSize), items[:113])
+	rawData = append([]byte(nil), rawData...)
+	q := geom.NewRect(0.2, 0.2, 0.6, 0.6)
+
+	scan := func(b *testing.B, data []byte) {
+		b.ReportAllocs()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			v := makeView(data)
+			for j, cnt := 0, v.count(); j < cnt; j++ {
+				if q.Intersects(v.rectAt(j)) {
+					hits++
+				}
+			}
+		}
+		if hits == 0 {
+			b.Fatal("query should match")
+		}
+	}
+	b.Run("view-raw", func(b *testing.B) { scan(b, rawData) })
+	b.Run("view-compressed", func(b *testing.B) { scan(b, compData) })
+	b.Run("view-compressed-integer", func(b *testing.B) {
+		b.ReportAllocs()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			v := makeView(compData)
+			qq := v.qz.CoverQuery(q)
+			for j, cnt := 0, v.count(); j < cnt; j++ {
+				if v.qrectAt(j).Intersects(qq) {
+					hits++
+				}
+			}
+		}
+		if hits == 0 {
+			b.Fatal("query should match")
+		}
+	})
+	b.Run("decode-compressed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := decodeNode(compData)
+			if n.count() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}

@@ -2,6 +2,8 @@ package rtree
 
 import (
 	"container/heap"
+	"math"
+	"sort"
 	"sync"
 
 	"prtree/internal/geom"
@@ -48,6 +50,15 @@ func (t *Tree) ContainmentQuery(q geom.Rect, fn func(geom.Item) bool) QueryStats
 			continue
 		}
 		st.InternalVisited++
+		if v.comp {
+			qq := v.qz.CoverQuery(q)
+			for i := v.count() - 1; i >= 0; i-- {
+				if v.qrectAt(i).Intersects(qq) {
+					stack = append(stack, storage.PageID(v.refAt(i)))
+				}
+			}
+			continue
+		}
 		for i := v.count() - 1; i >= 0; i-- {
 			if q.Intersects(v.rectAt(i)) {
 				stack = append(stack, storage.PageID(v.refAt(i)))
@@ -75,6 +86,13 @@ var knnHeaps = sync.Pool{New: func() interface{} { h := make(distHeap, 0, 64); r
 // ascending distance order, using best-first search: a global priority
 // queue over node bounding-box distances guarantees no node is read unless
 // it could contain one of the k answers.
+//
+// Ties at the k-th distance are resolved deterministically by ascending
+// item ID, so the result set is a pure function of the stored items — in
+// particular it is identical whichever page layout (and hence tree shape)
+// the items were loaded into. Compressed internal pages contribute
+// admissible lower-bound distances (their entries are conservative covers
+// of the true child MBRs), which preserves best-first correctness.
 func (t *Tree) NearestNeighbors(x, y float64, k int) ([]Neighbor, QueryStats) {
 	var st QueryStats
 	if k <= 0 || t.nItems == 0 {
@@ -85,12 +103,23 @@ func (t *Tree) NearestNeighbors(x, y float64, k int) ([]Neighbor, QueryStats) {
 	*pq = (*pq)[:0]
 	heap.Push(pq, distEntry{dist2: 0, page: t.root, isNode: true})
 	out := make([]Neighbor, 0, k)
+	// Once k results are held, keep draining entries at exactly the k-th
+	// distance so every boundary candidate surfaces; ties collects them.
+	kth := math.Inf(1)
+	var ties []Neighbor
 	for pq.Len() > 0 {
+		if len(out) == k && (*pq)[0].dist2 > kth {
+			break
+		}
 		e := heap.Pop(pq).(distEntry)
 		if !e.isNode {
-			out = append(out, Neighbor{Item: e.item, Dist2: e.dist2})
-			if len(out) == k {
-				return out, st
+			if len(out) < k {
+				out = append(out, Neighbor{Item: e.item, Dist2: e.dist2})
+				if len(out) == k {
+					kth = out[k-1].Dist2
+				}
+			} else if e.dist2 == kth {
+				ties = append(ties, Neighbor{Item: e.item, Dist2: e.dist2})
 			}
 			continue
 		}
@@ -116,6 +145,29 @@ func (t *Tree) NearestNeighbors(x, y float64, k int) ([]Neighbor, QueryStats) {
 			}
 		}
 	}
+	if len(ties) > 0 {
+		// Re-select the boundary: among every item at the k-th distance,
+		// keep the smallest IDs.
+		i := len(out)
+		for i > 0 && out[i-1].Dist2 == kth {
+			i--
+		}
+		group := make([]Neighbor, 0, len(out)-i+len(ties))
+		group = append(group, out[i:]...)
+		group = append(group, ties...)
+		sort.Slice(group, func(a, b int) bool { return group[a].Item.ID < group[b].Item.ID })
+		out = append(out[:i], group[:k-i]...)
+	}
+	// Canonical order: ascending distance, ties by ID. Equal-distance items
+	// can surface in tree-shape-dependent order (one may hide in a
+	// not-yet-expanded equal-distance node while another pops), so the sort
+	// — not discovery order — defines the result sequence.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist2 != out[b].Dist2 {
+			return out[a].Dist2 < out[b].Dist2
+		}
+		return out[a].Item.ID < out[b].Item.ID
+	})
 	return out, st
 }
 
@@ -152,8 +204,16 @@ func (h distHeap) Less(i, j int) bool {
 	if h[i].dist2 != h[j].dist2 {
 		return h[i].dist2 < h[j].dist2
 	}
-	// Pop items before nodes at equal distance so results surface eagerly.
-	return !h[i].isNode && h[j].isNode
+	// Pop items before nodes at equal distance so results surface eagerly;
+	// among equal-distance items, pop ascending IDs so the emitted order is
+	// deterministic regardless of tree shape.
+	if h[i].isNode != h[j].isNode {
+		return !h[i].isNode
+	}
+	if !h[i].isNode {
+		return h[i].item.ID < h[j].item.ID
+	}
+	return false
 }
 func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }

@@ -12,7 +12,8 @@ import (
 // Tree persistence: the disk snapshot followed by the tree metadata, so a
 // bulk-loaded index survives process restarts.
 
-var treeMagic = [8]byte{'P', 'R', 'T', 'R', 'E', 'E', '0', '1'}
+// Version 02 appended the layout word to the metadata record.
+var treeMagic = [8]byte{'P', 'R', 'T', 'R', 'E', 'E', '0', '2'}
 
 // Save serializes the tree (its disk pages and metadata) to w.
 func (t *Tree) Save(w io.Writer) error {
@@ -31,6 +32,7 @@ func (t *Tree) Save(w io.Writer) error {
 		uint64(t.cfg.Fanout),
 		uint64(t.cfg.MinFill),
 		uint64(t.cfg.Split),
+		uint64(t.cfg.Layout),
 	}
 	var buf [8]byte
 	for _, v := range meta {
@@ -56,7 +58,7 @@ func Load(r io.Reader, cacheCapacity int) (*Tree, error) {
 	if magic != treeMagic {
 		return nil, fmt.Errorf("rtree: bad tree magic %q", magic[:])
 	}
-	meta := make([]uint64, 7)
+	meta := make([]uint64, 8)
 	var buf [8]byte
 	for i := range meta {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -69,12 +71,16 @@ func Load(r io.Reader, cacheCapacity int) (*Tree, error) {
 	if meta[0] >= uint64(disk.NumPages()) {
 		return nil, fmt.Errorf("rtree: root page %d out of range", meta[0])
 	}
+	if meta[7] > uint64(LayoutCompressed) {
+		return nil, fmt.Errorf("rtree: unknown layout %d", meta[7])
+	}
 	t := &Tree{
 		pager: storage.NewPager(disk, cacheCapacity),
 		cfg: Config{
 			Fanout:  int(meta[4]),
 			MinFill: int(meta[5]),
 			Split:   SplitKind(meta[6]),
+			Layout:  Layout(meta[7]),
 		},
 		root:   storage.PageID(meta[0]),
 		height: int(meta[1]),
@@ -92,18 +98,29 @@ func Load(r io.Reader, cacheCapacity int) (*Tree, error) {
 	// header must fit the block, and the recorded fanout must not exceed
 	// the block's real capacity — the entry-count check below then bounds
 	// rectAt/refAt indexing transitively.
-	if disk.BlockSize() < headerSize+EntrySize {
+	if disk.BlockSize() < t.cfg.Layout.HeaderSize()+t.cfg.Layout.EntrySize() {
 		return nil, fmt.Errorf("rtree: block size %d cannot hold a node", disk.BlockSize())
 	}
-	if t.cfg.Fanout < 2 || t.cfg.Fanout > MaxFanout(disk.BlockSize()) {
-		return nil, fmt.Errorf("rtree: implausible fanout %d for %d-byte blocks", t.cfg.Fanout, disk.BlockSize())
+	if t.cfg.Fanout < 2 || t.cfg.Fanout > t.cfg.Layout.MaxFanout(disk.BlockSize()) {
+		return nil, fmt.Errorf("rtree: implausible fanout %d for %d-byte blocks under the %s layout", t.cfg.Fanout, disk.BlockSize(), t.cfg.Layout)
 	}
-	root := nodeView{data: disk.PeekNoCopy(t.root)}
+	root := makeView(disk.PeekNoCopy(t.root))
 	if kind := root.data[0]; kind != kindLeaf && kind != kindInternal {
 		return nil, fmt.Errorf("rtree: root page %d has invalid kind %d", t.root, kind)
 	}
 	if cnt := root.count(); cnt > t.cfg.Fanout {
 		return nil, fmt.Errorf("rtree: root page %d holds %d entries, fanout %d", t.root, cnt, t.cfg.Fanout)
+	}
+	// A page's header flag, not the tree config, decides its format; bound
+	// the count against the page's OWN layout so entry offsets stay inside
+	// the block even for hostile flag/count combinations (e.g. a
+	// raw-flagged page under a compressed-config fanout of 338).
+	pageLayout := LayoutRaw
+	if root.comp {
+		pageLayout = LayoutCompressed
+	}
+	if cnt := root.count(); cnt > pageLayout.MaxFanout(disk.BlockSize()) {
+		return nil, fmt.Errorf("rtree: %s root page %d holds %d entries for %d-byte blocks", pageLayout, t.root, cnt, disk.BlockSize())
 	}
 	if t.height > 1 && root.isLeaf() {
 		return nil, fmt.Errorf("rtree: root page %d is a leaf but height is %d", t.root, t.height)

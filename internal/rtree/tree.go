@@ -10,14 +10,18 @@ import (
 
 // Config tunes a tree. The zero value selects the paper's defaults.
 type Config struct {
-	// Fanout caps entries per node; 0 means the block-size maximum (113 for
-	// 4 KB blocks).
+	// Fanout caps entries per node; 0 means the block-size maximum of the
+	// layout (113 raw, 338 compressed for 4 KB blocks).
 	Fanout int
 	// MinFill is the minimum entries in a non-root node before deletion
-	// triggers condensing; 0 means Fanout*2/5 (Guttman's m <= M/2 regime).
+	// triggers condensing; 0 means 2/5 of the effective leaf capacity
+	// (Guttman's m <= M/2 regime).
 	MinFill int
 	// Split selects the overflow split heuristic for dynamic inserts.
 	Split SplitKind
+	// Layout selects the on-disk page format new pages are written as;
+	// the zero value is the paper's raw layout.
+	Layout Layout
 }
 
 // SplitKind selects Guttman's node-split heuristic.
@@ -76,18 +80,26 @@ func New(pager *storage.Pager, cfg Config) *Tree {
 }
 
 func normalizeConfig(cfg *Config, blockSize int) {
-	max := MaxFanout(blockSize)
+	max := cfg.Layout.MaxFanout(blockSize)
 	if cfg.Fanout <= 0 || cfg.Fanout > max {
 		cfg.Fanout = max
 	}
 	if cfg.Fanout < 2 {
 		panic("rtree: fanout must be at least 2")
 	}
-	if cfg.MinFill <= 0 {
-		cfg.MinFill = cfg.Fanout * 2 / 5
+	// MinFill defaults derive from the GUARANTEED leaf capacity: under the
+	// compressed layout a leaf that cannot quantize losslessly falls back
+	// to the raw format and holds only the raw maximum, so a MinFill above
+	// that would condemn valid fallback leaves to endless condensing.
+	basis := cfg.Fanout
+	if raw := LayoutRaw.MaxFanout(blockSize); cfg.Layout == LayoutCompressed && raw < basis {
+		basis = raw
 	}
-	if cfg.MinFill > cfg.Fanout/2 {
-		cfg.MinFill = cfg.Fanout / 2
+	if cfg.MinFill <= 0 {
+		cfg.MinFill = basis * 2 / 5
+	}
+	if cfg.MinFill > basis/2 {
+		cfg.MinFill = basis / 2
 	}
 	if cfg.MinFill < 1 {
 		cfg.MinFill = 1
@@ -115,7 +127,32 @@ func (t *Tree) Nodes() int { return t.nNodes }
 // readView returns a zero-copy view of the page. The view borrows the
 // pager's cached slice and stays valid only until the page is written.
 func (t *Tree) readView(id storage.PageID) nodeView {
-	return nodeView{data: t.pager.Read(id)}
+	return makeView(t.pager.Read(id))
+}
+
+// Layout returns the on-disk format the tree writes new pages as.
+func (t *Tree) Layout() Layout { return t.cfg.Layout }
+
+// overflows reports whether n holds more entries than a page can store:
+// more than the configured fanout, or — under the compressed layout —
+// more than a raw page holds while the entries cannot be stored
+// compressed (a leaf that does not quantize losslessly, or an internal
+// node with a non-finite union). A count within the raw capacity fits
+// regardless of compressibility, so the common case skips the per-entry
+// lossless scan entirely; only nodes in the (raw, fanout] band pay it,
+// and encodeNode then re-quantizes what writeNode actually persists.
+func (t *Tree) overflows(n *node) bool {
+	if n.count() > t.cfg.Fanout {
+		return true
+	}
+	if t.cfg.Layout != LayoutCompressed ||
+		n.count() <= LayoutRaw.MaxFanout(t.pager.Disk().BlockSize()) {
+		return false
+	}
+	if n.isLeaf() {
+		return !leafQuantizesLossless(n)
+	}
+	return !internalQuantizes(n)
 }
 
 // readNode returns the materialized form of the page for the mutation
@@ -136,7 +173,9 @@ func (t *Tree) readNode(id storage.PageID) *node {
 // decoded entry, and storing n afterwards keeps the cache warm for the
 // next read of the page.
 func (t *Tree) writeNode(id storage.PageID, n *node) {
-	t.pager.Write(id, encodeNode(t.buf, n))
+	// encodeNode canonicalizes compressed internal rects in place, so the
+	// node memoized below matches the page bytes exactly.
+	t.pager.Write(id, encodeNode(t.buf, n, t.cfg.Layout))
 	t.pager.StoreDecoded(id, n)
 }
 
@@ -200,6 +239,13 @@ type QueryStats struct {
 // children are pushed in reverse so pages are visited in exactly the order
 // the recursive formulation would, keeping I/O traces identical even under
 // a bounded LRU.
+//
+// Compressed internal pages are filtered in the quantized integer domain:
+// the query is quantized outward once per page (CoverQuery) and entries
+// compare as four uint16 pairs, with conservative covers on both sides, so
+// no truly intersecting subtree is ever skipped. Leaf entries are exact
+// under both layouts (lossless compression or raw fallback), keeping
+// reported results bit-identical to the raw layout.
 func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 	var st QueryStats
 	sp := t.grabStack()
@@ -224,6 +270,15 @@ func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
 			continue
 		}
 		st.InternalVisited++
+		if v.comp {
+			qq := v.qz.CoverQuery(q)
+			for i := v.count() - 1; i >= 0; i-- {
+				if v.qrectAt(i).Intersects(qq) {
+					stack = append(stack, storage.PageID(v.refAt(i)))
+				}
+			}
+			continue
+		}
 		for i := v.count() - 1; i >= 0; i-- {
 			if q.Intersects(v.rectAt(i)) {
 				stack = append(stack, storage.PageID(v.refAt(i)))

@@ -58,7 +58,7 @@ func TestNodeCodecRoundTrip(t *testing.T) {
 		n.append(geom.NewRect(float64(i), 0, float64(i)+1, 2), uint32(i*7))
 	}
 	buf := make([]byte, storage.DefaultBlockSize)
-	got := decodeNode(encodeNode(buf, n))
+	got := decodeNode(encodeNode(buf, n, LayoutRaw))
 	if got.kind != n.kind || got.count() != n.count() {
 		t.Fatalf("kind/count mismatch")
 	}
@@ -76,7 +76,7 @@ func TestNodeCodecFullFanout(t *testing.T) {
 		n.append(geom.NewRect(0, 0, 1, 1), uint32(i))
 	}
 	buf := make([]byte, storage.DefaultBlockSize)
-	if got := decodeNode(encodeNode(buf, n)); got.count() != f {
+	if got := decodeNode(encodeNode(buf, n, LayoutRaw)); got.count() != f {
 		t.Fatalf("full node round trip count = %d", got.count())
 	}
 	n.append(geom.NewRect(0, 0, 1, 1), 999)
@@ -85,7 +85,7 @@ func TestNodeCodecFullFanout(t *testing.T) {
 			t.Error("encoding an over-full node should panic")
 		}
 	}()
-	encodeNode(buf, n)
+	encodeNode(buf, n, LayoutRaw)
 }
 
 func TestEmptyTree(t *testing.T) {

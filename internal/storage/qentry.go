@@ -1,0 +1,40 @@
+package storage
+
+import (
+	"encoding/binary"
+
+	"prtree/internal/geom"
+)
+
+// QEntrySize is the on-disk footprint of one compressed node entry: four
+// 16-bit fixed-point corner offsets plus the 4-byte pointer. Together with
+// ItemSize it is one of the two entry widths every layout-dependent fanout
+// computation derives from (see rtree's layout table).
+const QEntrySize = 12
+
+// EncodeQEntry serializes a quantized rectangle and its reference into
+// buf, which must hold QEntrySize bytes.
+func EncodeQEntry(buf []byte, q geom.QRect, ref uint32) {
+	binary.LittleEndian.PutUint16(buf[0:], q.MinX)
+	binary.LittleEndian.PutUint16(buf[2:], q.MinY)
+	binary.LittleEndian.PutUint16(buf[4:], q.MaxX)
+	binary.LittleEndian.PutUint16(buf[6:], q.MaxY)
+	binary.LittleEndian.PutUint32(buf[8:], ref)
+}
+
+// DecodeQRect deserializes only the quantized rectangle of an entry
+// written by EncodeQEntry.
+func DecodeQRect(buf []byte) geom.QRect {
+	return geom.QRect{
+		MinX: binary.LittleEndian.Uint16(buf[0:]),
+		MinY: binary.LittleEndian.Uint16(buf[2:]),
+		MaxX: binary.LittleEndian.Uint16(buf[4:]),
+		MaxY: binary.LittleEndian.Uint16(buf[6:]),
+	}
+}
+
+// DecodeQRef deserializes only the 4-byte pointer of an entry written by
+// EncodeQEntry.
+func DecodeQRef(buf []byte) uint32 {
+	return binary.LittleEndian.Uint32(buf[8:])
+}

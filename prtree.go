@@ -82,13 +82,31 @@ const (
 	RStar = rtree.RStarSplit
 )
 
+// PageLayout selects the on-disk node format.
+type PageLayout = rtree.Layout
+
+// Page layouts.
+const (
+	// LayoutRaw is the paper's exact format: 36-byte entries, fanout 113
+	// at 4 KB blocks (the default).
+	LayoutRaw = rtree.LayoutRaw
+	// LayoutCompressed stores quantized 12-byte entries against a per-page
+	// base MBR, tripling fanout (338 at 4 KB). Interior entries round
+	// outward (conservative covers); leaves compress only losslessly, so
+	// query, k-NN and batch results are identical to LayoutRaw.
+	LayoutCompressed = rtree.LayoutCompressed
+)
+
 // Options tunes a tree. The zero value (or nil) reproduces the paper's
 // setup: 4 KB blocks, 36-byte entries, fanout 113.
 type Options struct {
 	// BlockSize is the simulated disk block size in bytes (default 4096).
 	BlockSize int
-	// Fanout caps entries per node (default: block-size maximum, 113).
+	// Fanout caps entries per node (default: the layout's block-size
+	// maximum — 113 raw, 338 compressed).
 	Fanout int
+	// Layout selects the on-disk node format (default LayoutRaw).
+	Layout PageLayout
 	// MemoryItems is the bulk-loading memory budget M in records
 	// (default 65536).
 	MemoryItems int
@@ -136,6 +154,7 @@ func BulkWith(l Loader, items []Item, opts *Options) *Tree {
 	pager := storage.NewPager(disk, o.CacheCapacity)
 	tr := bulk.FromItems(l, pager, items, bulk.Options{
 		Fanout:      o.Fanout,
+		Layout:      o.Layout,
 		MemoryItems: o.MemoryItems,
 		Split:       o.Update,
 		Parallelism: o.Parallelism,
@@ -278,6 +297,7 @@ func NewDynamic(opts *Options) *Dynamic {
 	pager := storage.NewPager(disk, o.CacheCapacity)
 	inner := logmethod.New(pager, bulk.Options{
 		Fanout:      o.Fanout,
+		Layout:      o.Layout,
 		MemoryItems: o.MemoryItems,
 	}, 0)
 	return &Dynamic{inner: inner, disk: disk}
