@@ -1,17 +1,24 @@
-// Command prtool builds an index over a datagen binary file and inspects
-// or queries it from the command line.
+// Command prtool builds, persists, inspects and queries R-tree indexes
+// from the command line.
 //
 // Usage:
 //
 //	prtool -in data.bin -loader PR stats
-//	prtool -in data.bin -loader H4 query 0.1,0.1,0.2,0.2
+//	prtool -in data.bin query 0.1,0.1,0.2,0.2
 //	prtool -in data.bin bench -queries 100 -area 0.01
+//	prtool -in data.bin -index roads.pr create
+//	prtool -index roads.pr stats|query x1,y1,x2,y2|bench
 //
 // Subcommands:
 //
+//	create  bulk-load -in into the on-disk index file -index (built once,
+//	        queryable across process runs)
 //	stats   print tree shape, utilization and build I/O
 //	query   run one window query (x1,y1,x2,y2) and print matches
 //	bench   run random square queries and report the paper's cost metric
+//
+// With -index and no -in, the index file is opened in place (no rebuild);
+// with -in and no -index, the tree is built in memory as before.
 package main
 
 import (
@@ -22,53 +29,101 @@ import (
 	"strconv"
 	"strings"
 
-	"prtree/internal/bulk"
-	"prtree/internal/geom"
+	"prtree"
 	"prtree/internal/storage"
 	"prtree/internal/workload"
 )
 
 func main() {
 	in := flag.String("in", "", "input dataset (datagen -format bin)")
+	index := flag.String("index", "", "on-disk index file (create writes it, other subcommands open it)")
 	loaderName := flag.String("loader", "PR", "bulk loader: PR|H|H4|STR|TGS")
+	layoutName := flag.String("layout", "raw", "page layout: raw|compressed")
 	mem := flag.Int("mem", 0, "memory budget in records (0 = default)")
 	queries := flag.Int("queries", 100, "bench: number of queries")
 	area := flag.Float64("area", 0.01, "bench: query area fraction")
 	seed := flag.Int64("seed", 1, "bench: query seed")
+	limit := flag.Int("limit", 0, "query: stop after N matches (0 = all)")
 	flag.Parse()
 
-	if *in == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: prtool -in data.bin [-loader PR] stats|query x1,y1,x2,y2|bench")
-		os.Exit(2)
+	if flag.NArg() < 1 {
+		usage()
 	}
 	loader, err := parseLoader(*loaderName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "prtool:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	items, err := readItems(*in)
+	layout, err := parseLayout(*layoutName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "prtool:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	opts := &prtree.Options{MemoryItems: *mem, Layout: layout}
+
+	if flag.Arg(0) == "create" {
+		if *in == "" || *index == "" {
+			fmt.Fprintln(os.Stderr, "prtool: create needs both -in and -index")
+			os.Exit(2)
+		}
+		items, err := readItems(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tree, err := prtree.Create(*index, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tree.BulkLoad(loader, items); err != nil {
+			fatal(err)
+		}
+		buildIO := tree.IOStats()
+		if err := tree.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("created %s: %d items with loader %v (%d reads, %d writes)\n",
+			*index, len(items), loader, buildIO.Reads, buildIO.Writes)
+		return
 	}
 
-	disk := storage.NewDisk(storage.DefaultBlockSize)
-	pager := storage.NewPager(disk, -1)
-	file := storage.NewItemFileFrom(disk, items)
-	disk.ResetStats()
-	tree := bulk.Load(loader, pager, file, bulk.Options{MemoryItems: *mem})
-	buildIO := disk.Stats()
+	var tree *prtree.Tree
+	var buildIO prtree.IOStats
+	switch {
+	case *index != "" && *in != "":
+		fmt.Fprintf(os.Stderr, "prtool: %s with both -in and -index is ambiguous; use create to build the index, then drop -in to open it\n", flag.Arg(0))
+		os.Exit(2)
+	case *index != "":
+		tree, err = prtree.Open(*index, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer tree.Close()
+	case *in != "":
+		items, err := readItems(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tree = prtree.BulkWith(loader, items, opts)
+		buildIO = tree.IOStats()
+	default:
+		usage()
+	}
 
 	switch flag.Arg(0) {
 	case "stats":
 		leaf, internal := tree.Utilization()
-		fmt.Printf("loader:        %v\n", loader)
+		if tree.Path() != "" {
+			fmt.Printf("index:         %s (opened in place)\n", tree.Path())
+		} else {
+			fmt.Printf("loader:        %v\n", loader)
+		}
 		fmt.Printf("items:         %d\n", tree.Len())
 		fmt.Printf("height:        %d\n", tree.Height())
 		fmt.Printf("nodes:         %d\n", tree.Nodes())
 		fmt.Printf("leaf fill:     %.2f%%\n", 100*leaf)
 		fmt.Printf("internal fill: %.2f%%\n", 100*internal)
-		fmt.Printf("build I/O:     %d reads, %d writes\n", buildIO.Reads, buildIO.Writes)
+		if tree.Path() == "" {
+			fmt.Printf("build I/O:     %d reads, %d writes (incl. staging the input file)\n",
+				buildIO.Reads, buildIO.Writes)
+		}
 		if err := tree.Validate(); err != nil {
 			fmt.Printf("VALIDATION FAILED: %v\n", err)
 			os.Exit(1)
@@ -79,15 +134,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "prtool: query needs x1,y1,x2,y2")
 			os.Exit(2)
 		}
-		q, err := parseRect(flag.Arg(1))
+		rect, err := parseRect(flag.Arg(1))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "prtool:", err)
-			os.Exit(2)
+			fatal(err)
 		}
-		st := tree.Query(q, func(it geom.Item) bool {
+		var st prtree.QueryStats
+		q := prtree.Window(rect).WithStats(&st).WithLimit(*limit)
+		for it := range tree.Iter(q) {
 			fmt.Printf("%d\t%g,%g,%g,%g\n", it.ID, it.Rect.MinX, it.Rect.MinY, it.Rect.MaxX, it.Rect.MaxY)
-			return true
-		})
+		}
 		fmt.Printf("# %d results, %d leaf blocks, %d nodes visited\n",
 			st.Results, st.LeavesVisited, st.NodesVisited)
 	case "bench":
@@ -95,16 +150,18 @@ func main() {
 		qs := workload.Squares(world, *area, *queries, *seed)
 		var leaves, results int
 		for _, q := range qs {
-			st := tree.QueryCount(q)
+			var st prtree.QueryStats
+			if err := tree.Run(prtree.Window(q).WithStats(&st), nil); err != nil {
+				fatal(err)
+			}
 			leaves += st.LeavesVisited
 			results += st.Results
 		}
-		fanout := tree.Config().Fanout
 		fmt.Printf("queries:      %d squares of %.2f%% area\n", *queries, *area*100)
 		fmt.Printf("avg T:        %.1f\n", float64(results)/float64(*queries))
 		fmt.Printf("avg leaf I/O: %.1f\n", float64(leaves)/float64(*queries))
 		if results > 0 {
-			pct := 100 * float64(leaves) / (float64(results) / float64(fanout))
+			pct := 100 * float64(leaves) / (float64(results) / float64(tree.Fanout()))
 			fmt.Printf("cost:         %.1f%% of T/B\n", pct)
 		}
 	default:
@@ -113,46 +170,69 @@ func main() {
 	}
 }
 
-func parseLoader(s string) (bulk.Loader, error) {
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: prtool -in data.bin [-loader PR] stats|query x1,y1,x2,y2|bench
+       prtool -in data.bin -index file.pr create
+       prtool -index file.pr stats|query x1,y1,x2,y2|bench`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prtool:", err)
+	os.Exit(1)
+}
+
+func parseLoader(s string) (prtree.Loader, error) {
 	switch strings.ToUpper(s) {
 	case "PR":
-		return bulk.LoaderPR, nil
+		return prtree.PR, nil
 	case "H":
-		return bulk.LoaderHilbert, nil
+		return prtree.Hilbert, nil
 	case "H4":
-		return bulk.LoaderHilbert4D, nil
+		return prtree.Hilbert4D, nil
 	case "STR":
-		return bulk.LoaderSTR, nil
+		return prtree.STR, nil
 	case "TGS":
-		return bulk.LoaderTGS, nil
+		return prtree.TGS, nil
 	default:
 		return 0, fmt.Errorf("unknown loader %q", s)
 	}
 }
 
-func parseRect(s string) (geom.Rect, error) {
+func parseLayout(s string) (prtree.PageLayout, error) {
+	switch strings.ToLower(s) {
+	case "raw", "":
+		return prtree.LayoutRaw, nil
+	case "compressed":
+		return prtree.LayoutCompressed, nil
+	default:
+		return 0, fmt.Errorf("unknown layout %q", s)
+	}
+}
+
+func parseRect(s string) (prtree.Rect, error) {
 	parts := strings.Split(s, ",")
 	if len(parts) != 4 {
-		return geom.Rect{}, fmt.Errorf("rect needs 4 comma-separated numbers, got %q", s)
+		return prtree.Rect{}, fmt.Errorf("rect needs 4 comma-separated numbers, got %q", s)
 	}
 	var v [4]float64
 	for i, p := range parts {
 		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			return geom.Rect{}, err
+			return prtree.Rect{}, err
 		}
 		v[i] = f
 	}
-	return geom.NewRect(v[0], v[1], v[2], v[3]), nil
+	return prtree.NewRect(v[0], v[1], v[2], v[3]), nil
 }
 
-func readItems(path string) ([]geom.Item, error) {
+func readItems(path string) ([]prtree.Item, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var items []geom.Item
+	var items []prtree.Item
 	buf := make([]byte, storage.ItemSize)
 	for {
 		_, err := io.ReadFull(f, buf)

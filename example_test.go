@@ -1,0 +1,80 @@
+package prtree_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"prtree"
+)
+
+// ExampleCreate builds a file-backed index, closes it, and reopens it in
+// place with Open — the v2 persistence lifecycle.
+func ExampleCreate() {
+	path := filepath.Join(os.TempDir(), "example-create.pr")
+	defer os.Remove(path)
+
+	tree, err := prtree.Create(path, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items := []prtree.Item{
+		{Rect: prtree.NewRect(0, 0, 1, 1), ID: 1},
+		{Rect: prtree.NewRect(2, 2, 3, 3), ID: 2},
+		{Rect: prtree.NewRect(4, 4, 5, 5), ID: 3},
+	}
+	if err := tree.BulkLoad(prtree.PR, items); err != nil {
+		log.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	reopened, err := prtree.Open(path, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	fmt.Println("items after reopen:", reopened.Len())
+	// Output:
+	// items after reopen: 3
+}
+
+// ExampleTree_Iter consumes a composable window query through the Go 1.23
+// range-over-func iterator.
+func ExampleTree_Iter() {
+	items := []prtree.Item{
+		{Rect: prtree.NewRect(0, 0, 1, 1), ID: 10},
+		{Rect: prtree.NewRect(2, 2, 3, 3), ID: 20},
+		{Rect: prtree.NewRect(2.5, 2.5, 4, 4), ID: 30},
+	}
+	tree := prtree.Bulk(items, nil)
+
+	var st prtree.QueryStats
+	q := prtree.Window(prtree.NewRect(2, 2, 5, 5)).WithStats(&st)
+	for it := range tree.Iter(q) {
+		fmt.Println("hit", it.ID)
+	}
+	fmt.Println("results:", st.Results)
+	// Output:
+	// hit 20
+	// hit 30
+	// results: 2
+}
+
+// ExampleNearest yields the k closest items in ascending distance order.
+func ExampleNearest() {
+	items := []prtree.Item{
+		{Rect: prtree.NewRect(0, 0, 1, 1), ID: 1},
+		{Rect: prtree.NewRect(5, 5, 6, 6), ID: 2},
+		{Rect: prtree.NewRect(9, 9, 10, 10), ID: 3},
+	}
+	tree := prtree.Bulk(items, nil)
+	for it := range tree.Iter(prtree.Nearest(4, 4, 2)) {
+		fmt.Println("neighbor", it.ID)
+	}
+	// Output:
+	// neighbor 2
+	// neighbor 1
+}

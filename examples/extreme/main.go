@@ -20,7 +20,8 @@ func main() {
 	probe := dataset.ClusterProbe(dataset.ClusterOptions{}, 1)
 	for _, loader := range []prtree.Loader{prtree.Hilbert, prtree.Hilbert4D, prtree.PR, prtree.TGS} {
 		tree := prtree.BulkWith(loader, clItems, nil)
-		st := tree.Query(probe, nil)
+		var st prtree.QueryStats
+		_ = tree.Run(prtree.Window(probe).WithStats(&st), nil)
 		leaves := (tree.Len() + b - 1) / b
 		fmt.Printf("%-4v visited %5d of %d leaves (%5.1f%%) for %d results\n",
 			loader, st.LeavesVisited, leaves,
@@ -34,7 +35,8 @@ func main() {
 	ref := math.Sqrt(float64(len(wcItems)) / b)
 	for _, loader := range []prtree.Loader{prtree.Hilbert, prtree.Hilbert4D, prtree.PR, prtree.TGS} {
 		tree := prtree.BulkWith(loader, wcItems, nil)
-		st := tree.Query(wcProbe, nil)
+		var st prtree.QueryStats
+		_ = tree.Run(prtree.Window(wcProbe).WithStats(&st), nil)
 		leaves := (tree.Len() + b - 1) / b
 		fmt.Printf("%-4v visited %5d of %d leaves (%5.1f%%) reporting %d  [sqrt(N/B)=%.0f]\n",
 			loader, st.LeavesVisited, leaves,

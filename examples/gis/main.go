@@ -30,7 +30,8 @@ func main() {
 
 		var leaves, results int
 		for _, q := range queries {
-			st := tree.Query(q, nil)
+			var st prtree.QueryStats
+			_ = tree.Run(prtree.Window(q).WithStats(&st), nil)
 			leaves += st.LeavesVisited
 			results += st.Results
 		}

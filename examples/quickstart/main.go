@@ -22,13 +22,14 @@ func main() {
 	fmt.Printf("indexed %d rectangles, height %d, %d disk pages\n",
 		tree.Len(), tree.Height(), tree.Nodes())
 
-	// Window query: everything in western Europe.
+	// Window query: everything in western Europe, consumed as a pull
+	// iterator (the v2 query surface).
 	q := prtree.NewRect(0, 50, 15, 60)
 	fmt.Printf("query %v:\n", q)
-	st := tree.Query(q, func(it prtree.Item) bool {
+	var st prtree.QueryStats
+	for it := range tree.Iter(prtree.Window(q).WithStats(&st)) {
 		fmt.Printf("  hit id=%d rect=%v\n", it.ID, it.Rect)
-		return true // keep going
-	})
+	}
 	fmt.Printf("visited %d nodes (%d leaf blocks) for %d results\n",
 		st.NodesVisited, st.LeavesVisited, st.Results)
 

@@ -1,0 +1,99 @@
+package prtree
+
+import (
+	"fmt"
+
+	"prtree/internal/rtree"
+	"prtree/internal/storage"
+)
+
+// File-backed trees: Create a new index file, build into it (BulkLoad or
+// Insert), Close to persist, Open to serve it again — in place, with no
+// Save/Load round-trip through an in-memory copy.
+
+// Create makes a new (or truncates an existing) index file at path and
+// returns an empty file-backed tree on it. Fill it with BulkLoad or
+// Insert; Close (or Sync) persists the tree in place, and Open reopens it
+// with zero rebuild work. Options.Backend is ignored — Create always uses
+// the file-backed store at path.
+func Create(path string, opts *Options) (*Tree, error) {
+	o := opts.normalized()
+	fb, err := storage.CreateFile(path, o.BlockSize)
+	if err != nil {
+		return nil, fmt.Errorf("prtree: create %s: %w", path, err)
+	}
+	counting, pager := newTree(fb, o)
+	inner := rtree.New(pager, rtree.Config{
+		Fanout: o.Fanout,
+		Split:  o.Update,
+		Layout: o.Layout,
+	})
+	t := &Tree{inner: inner, pager: pager, io: counting, bopts: o.bulkOptions(), path: path}
+	if err := t.Sync(); err != nil {
+		fb.Abandon()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open reopens the index file at path. The tree's shape and configuration
+// come from the file; opts controls the page cache, and a non-zero
+// opts.BlockSize is validated against the file's block size (mismatch is a
+// wrapped ErrBlockSizeMismatch). Corrupt files fail with wrapped,
+// inspectable errors — see ErrBadMagic, ErrBadVersion and ErrTruncated —
+// never a panic.
+func Open(path string, opts *Options) (*Tree, error) {
+	expect := 0
+	if opts != nil {
+		expect = opts.BlockSize
+	}
+	o := opts.normalized()
+	fb, err := storage.OpenFile(path, expect)
+	if err != nil {
+		return nil, fmt.Errorf("prtree: %w", err)
+	}
+	counting, pager := newTree(fb, o)
+	inner, err := rtree.OpenFromMeta(pager, fb.Meta())
+	if err != nil {
+		// Abandon, not Close: a failed open must not rewrite the header or
+		// truncate a file it could not validate.
+		fb.Abandon()
+		return nil, fmt.Errorf("prtree: open %s: %w", path, err)
+	}
+	cfg := inner.Config()
+	bopts := o.bulkOptions()
+	bopts.Fanout, bopts.Layout, bopts.Split = cfg.Fanout, cfg.Layout, cfg.Split
+	return &Tree{inner: inner, pager: pager, io: counting, bopts: bopts, path: path}, nil
+}
+
+// Path returns the tree's index file path, or "" for non-file backends.
+func (t *Tree) Path() string { return t.path }
+
+// Sync persists the tree's current state — pages, allocator and metadata —
+// through the backend (an fsync'd header rewrite for file-backed trees, a
+// no-op for in-memory ones). The tree remains usable.
+func (t *Tree) Sync() error {
+	if t.closed {
+		return fmt.Errorf("prtree: Sync on closed tree")
+	}
+	t.io.SetMeta(t.inner.EncodeMeta())
+	if err := t.io.Sync(); err != nil {
+		return fmt.Errorf("prtree: sync: %w", err)
+	}
+	return nil
+}
+
+// Close persists the tree (like Sync) and releases the backend. A
+// file-backed tree closed cleanly reopens with Open; using the tree after
+// Close is invalid. Closing twice is a no-op.
+func (t *Tree) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.io.SetMeta(t.inner.EncodeMeta())
+	if err := t.io.Close(); err != nil {
+		return fmt.Errorf("prtree: close: %w", err)
+	}
+	return nil
+}

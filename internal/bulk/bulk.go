@@ -136,7 +136,7 @@ var Loaders = []Loader{LoaderHilbert, LoaderHilbert4D, LoaderPR, LoaderTGS}
 // FromItems is a convenience wrapper: it writes items to a fresh file on
 // the pager's disk (counting the writes) and bulk-loads it.
 func FromItems(l Loader, pager *storage.Pager, items []geom.Item, opt Options) *rtree.Tree {
-	return Load(l, pager, storage.NewItemFileFrom(pager.Disk(), items), opt)
+	return Load(l, pager, storage.NewItemFileFrom(pager.Backend(), items), opt)
 }
 
 // probeLossless scans a file (one linear pass, counted I/O) and reports

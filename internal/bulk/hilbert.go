@@ -14,14 +14,14 @@ import (
 // Cost: one scan for the world box, one external sort, one packing pass —
 // O((N/B) log_{M/B}(N/B)) I/Os, the cheapest loader in Figure 9.
 func Hilbert2D(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
-	opt = opt.normalized(pager.Disk().BlockSize())
+	opt = opt.normalized(pager.Backend().BlockSize())
 	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split, Layout: opt.Layout})
 	if in.Len() == 0 {
 		in.Free()
 		return b.FinishEmpty()
 	}
 	q := hilbert.NewQuantizer2D(worldOf(in), opt.HilbertBits)
-	sorted := extsort.Sort(pager.Disk(), in, extsort.UintKey(func(it geom.Item) uint64 {
+	sorted := extsort.Sort(pager.Backend(), in, extsort.UintKey(func(it geom.Item) uint64 {
 		return q.CenterKey(it.Rect)
 	}), opt.sortConfig())
 	in.Free()
@@ -33,14 +33,14 @@ func Hilbert2D(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.T
 // Hilbert curve, so the ordering is extent-aware. Same I/O cost as
 // Hilbert2D.
 func Hilbert4D(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
-	opt = opt.normalized(pager.Disk().BlockSize())
+	opt = opt.normalized(pager.Backend().BlockSize())
 	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split, Layout: opt.Layout})
 	if in.Len() == 0 {
 		in.Free()
 		return b.FinishEmpty()
 	}
 	q := hilbert.NewQuantizer4D(worldOf(in), opt.HilbertBits)
-	sorted := extsort.Sort(pager.Disk(), in, extsort.UintKey(func(it geom.Item) uint64 {
+	sorted := extsort.Sort(pager.Backend(), in, extsort.UintKey(func(it geom.Item) uint64 {
 		return q.Key(it.Rect)
 	}), opt.sortConfig())
 	in.Free()

@@ -21,13 +21,13 @@ import (
 // below TGS in measured block transfers, matching Figure 9. The resulting
 // tree answers any window query in O(sqrt(N/B) + T/B) I/Os.
 func PRTree(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
-	opt = opt.normalized(pager.Disk().BlockSize())
+	opt = opt.normalized(pager.Backend().BlockSize())
 	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split, Layout: opt.Layout})
 	if in.Len() == 0 {
 		in.Free()
 		return b.FinishEmpty()
 	}
-	disk := pager.Disk()
+	disk := pager.Backend()
 	cfg := pseudo.ExternalConfig{B: opt.Fanout, M: opt.MemoryItems, Workers: opt.Parallelism}
 
 	cur := in

@@ -15,14 +15,14 @@ import (
 // and leaves are packed within slabs. STR is an extra baseline beyond the
 // paper's comparison set; it behaves like H on nice data.
 func STR(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
-	opt = opt.normalized(pager.Disk().BlockSize())
+	opt = opt.normalized(pager.Backend().BlockSize())
 	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split, Layout: opt.Layout})
 	n := in.Len()
 	if n == 0 {
 		in.Free()
 		return b.FinishEmpty()
 	}
-	disk := pager.Disk()
+	disk := pager.Backend()
 	byX := extsort.Sort(disk, in, extsort.UintKey(func(it geom.Item) uint64 {
 		cx, _ := it.Rect.Center()
 		return extsort.Float64Key(cx)

@@ -21,14 +21,14 @@ import (
 // magnitude more bulk-loading I/O than H (Figure 9): effectively
 // O((N/B) log2 N) block transfers.
 func TGS(pager *storage.Pager, in *storage.ItemFile, opt Options) *rtree.Tree {
-	opt = opt.normalized(pager.Disk().BlockSize())
+	opt = opt.normalized(pager.Backend().BlockSize())
 	b := rtree.NewBuilder(pager, rtree.Config{Fanout: opt.Fanout, Split: opt.Split, Layout: opt.Layout})
 	n := in.Len()
 	if n == 0 {
 		in.Free()
 		return b.FinishEmpty()
 	}
-	disk := pager.Disk()
+	disk := pager.Backend()
 	// TGS's top-down partition fixes the leaf group size before the groups
 	// are known, so under the compressed layout it runs one probe pass
 	// (N/B reads, dwarfed by TGS's O((N/B) log N) sort cost): when every
@@ -71,7 +71,7 @@ func tgsHeight(n, leafCap, fanout int) int {
 }
 
 type tgsBuilder struct {
-	disk    *storage.Disk
+	disk    storage.Backend
 	b       *rtree.Builder
 	fanout  int
 	leafCap int

@@ -98,7 +98,7 @@ type Config struct {
 // sorted records. The input file is left intact; intermediate runs are
 // freed. MemoryItems must allow at least three blocks (two inputs + one
 // output) or Sort panics.
-func Sort(disk *storage.Disk, in *storage.ItemFile, key KeyFunc, cfg Config) *storage.ItemFile {
+func Sort(disk storage.Backend, in *storage.ItemFile, key KeyFunc, cfg Config) *storage.ItemFile {
 	perBlock := storage.ItemsPerBlock(disk.BlockSize())
 	m := cfg.MemoryItems
 	if m < 3*perBlock {
@@ -165,7 +165,7 @@ type runChunk struct {
 // writes each as a run. The input scan is a single sequential reader in
 // every mode, so each input block is read exactly once; only the sort and
 // the run writes fan out to workers.
-func formRuns(disk *storage.Disk, in *storage.ItemFile, key KeyFunc, m, workers int) []*storage.ItemFile {
+func formRuns(disk storage.Backend, in *storage.ItemFile, key KeyFunc, m, workers int) []*storage.ItemFile {
 	nRuns := (in.Len() + m - 1) / m
 	runs := make([]*storage.ItemFile, nRuns)
 	if workers > nRuns {
@@ -268,7 +268,7 @@ func newRunSorter(m int) *runSorter {
 	}
 }
 
-func (s *runSorter) writeRun(disk *storage.Disk, items []geom.Item, key KeyFunc) *storage.ItemFile {
+func (s *runSorter) writeRun(disk storage.Backend, items []geom.Item, key KeyFunc) *storage.ItemFile {
 	keyed := s.keyed[:0]
 	for _, it := range items {
 		keyed = append(keyed, keyedItem{key: key(it), item: it})

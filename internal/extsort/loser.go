@@ -108,7 +108,7 @@ func (t *loserTree) winner() int32 {
 // mergeRuns merges the sorted runs into one sorted file and frees them.
 // A single-run group (the tail of a pass) is copied block-by-block — the
 // same reads and writes as a record-at-a-time copy, without decoding.
-func mergeRuns(disk *storage.Disk, runs []*storage.ItemFile, key KeyFunc) *storage.ItemFile {
+func mergeRuns(disk storage.Backend, runs []*storage.ItemFile, key KeyFunc) *storage.ItemFile {
 	out := storage.NewItemFile(disk)
 	if len(runs) == 1 {
 		run := runs[0]

@@ -48,7 +48,7 @@ type Tree struct {
 // one leaf's worth, i.e. the layout's fanout).
 func New(pager *storage.Pager, opt bulk.Options, base int) *Tree {
 	if base <= 0 {
-		base = opt.Layout.MaxFanout(pager.Disk().BlockSize())
+		base = opt.Layout.MaxFanout(pager.Backend().BlockSize())
 	}
 	return &Tree{
 		pager: pager,

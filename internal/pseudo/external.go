@@ -36,7 +36,7 @@ type ExternalConfig struct {
 // rectangles are not removed before the division is computed (the query
 // bound of Lemma 2 is unaffected; each child still receives at most half
 // of its parent's points). The input file is consumed and freed.
-func BuildExternal(disk *storage.Disk, in *storage.ItemFile, cfg ExternalConfig, emit func(LeafGroup)) {
+func BuildExternal(disk storage.Backend, in *storage.ItemFile, cfg ExternalConfig, emit func(LeafGroup)) {
 	if cfg.B < 1 {
 		panic("pseudo: external build with B < 1")
 	}
@@ -60,7 +60,7 @@ func BuildExternal(disk *storage.Disk, in *storage.ItemFile, cfg ExternalConfig,
 // Workers > 1 the four sorts run concurrently; each sort's reads and
 // writes are those of its serial execution, so the total block-I/O count
 // is unchanged.
-func sortAxes(disk *storage.Disk, in *storage.ItemFile, cfg ExternalConfig) [4]*storage.ItemFile {
+func sortAxes(disk storage.Backend, in *storage.ItemFile, cfg ExternalConfig) [4]*storage.ItemFile {
 	var lists [4]*storage.ItemFile
 	// Four sorts run concurrently, so each inner sort gets a quarter of
 	// the worker budget: total goroutines and transient chunk memory stay
@@ -140,7 +140,7 @@ type extNode struct {
 }
 
 type externalBuilder struct {
-	disk *storage.Disk
+	disk storage.Backend
 	cfg  ExternalConfig
 	emit func(LeafGroup)
 

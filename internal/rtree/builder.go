@@ -20,8 +20,8 @@ type Builder struct {
 // NewBuilder prepares building a tree on pager. The builder owns the tree
 // until Finish is called.
 func NewBuilder(pager *storage.Pager, cfg Config) *Builder {
-	normalizeConfig(&cfg, pager.Disk().BlockSize())
-	t := &Tree{pager: pager, cfg: cfg, buf: make([]byte, pager.Disk().BlockSize())}
+	normalizeConfig(&cfg, pager.Backend().BlockSize())
+	t := &Tree{pager: pager, cfg: cfg, buf: make([]byte, pager.Backend().BlockSize())}
 	return &Builder{tree: t}
 }
 
@@ -35,7 +35,7 @@ func (b *Builder) LeafCapacity() int { return b.tree.cfg.Fanout }
 // rawLeafCapacity is what one raw-format page holds — the fallback bound
 // when a compressed leaf group does not quantize losslessly.
 func (b *Builder) rawLeafCapacity() int {
-	raw := LayoutRaw.MaxFanout(b.tree.pager.Disk().BlockSize())
+	raw := LayoutRaw.MaxFanout(b.tree.pager.Backend().BlockSize())
 	if raw > b.tree.cfg.Fanout {
 		return b.tree.cfg.Fanout
 	}

@@ -1,9 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-	"math"
-	"sort"
 	"sync"
 
 	"prtree/internal/geom"
@@ -25,47 +22,9 @@ func (t *Tree) PointQuery(x, y float64, fn func(geom.Item) bool) QueryStats {
 // Traversal prunes on intersection (a containing leaf entry must intersect
 // q) and filters on containment at the leaves. Like Query, it walks
 // zero-copy views with an explicit preorder stack; fn must not mutate the
-// tree.
+// tree. It is the no-options containment form of RunWindow.
 func (t *Tree) ContainmentQuery(q geom.Rect, fn func(geom.Item) bool) QueryStats {
-	var st QueryStats
-	sp := t.grabStack()
-	stack := append(*sp, t.root)
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		v := t.readView(id)
-		st.NodesVisited++
-		if v.isLeaf() {
-			st.LeavesVisited++
-			for i, cnt := 0, v.count(); i < cnt; i++ {
-				r := v.rectAt(i)
-				if q.Contains(r) {
-					st.Results++
-					if fn != nil && !fn(geom.Item{Rect: r, ID: v.refAt(i)}) {
-						t.releaseStack(sp, stack)
-						return st
-					}
-				}
-			}
-			continue
-		}
-		st.InternalVisited++
-		if v.comp {
-			qq := v.qz.CoverQuery(q)
-			for i := v.count() - 1; i >= 0; i-- {
-				if v.qrectAt(i).Intersects(qq) {
-					stack = append(stack, storage.PageID(v.refAt(i)))
-				}
-			}
-			continue
-		}
-		for i := v.count() - 1; i >= 0; i-- {
-			if q.Intersects(v.rectAt(i)) {
-				stack = append(stack, storage.PageID(v.refAt(i)))
-			}
-		}
-	}
-	t.releaseStack(sp, stack)
+	st, _ := t.RunWindow(q, true, fn, RunOptions{})
 	return st
 }
 
@@ -83,91 +42,11 @@ type Neighbor struct {
 var knnHeaps = sync.Pool{New: func() interface{} { h := make(distHeap, 0, 64); return &h }}
 
 // NearestNeighbors returns the k stored rectangles closest to (x, y) in
-// ascending distance order, using best-first search: a global priority
-// queue over node bounding-box distances guarantees no node is read unless
-// it could contain one of the k answers.
-//
-// Ties at the k-th distance are resolved deterministically by ascending
-// item ID, so the result set is a pure function of the stored items — in
-// particular it is identical whichever page layout (and hence tree shape)
-// the items were loaded into. Compressed internal pages contribute
-// admissible lower-bound distances (their entries are conservative covers
-// of the true child MBRs), which preserves best-first correctness.
+// ascending distance order. It is the no-options form of RunNearest; see
+// query.go for the best-first search and deterministic tie-breaking
+// guarantees.
 func (t *Tree) NearestNeighbors(x, y float64, k int) ([]Neighbor, QueryStats) {
-	var st QueryStats
-	if k <= 0 || t.nItems == 0 {
-		return nil, st
-	}
-	pq := knnHeaps.Get().(*distHeap)
-	defer func() { *pq = (*pq)[:0]; knnHeaps.Put(pq) }()
-	*pq = (*pq)[:0]
-	heap.Push(pq, distEntry{dist2: 0, page: t.root, isNode: true})
-	out := make([]Neighbor, 0, k)
-	// Once k results are held, keep draining entries at exactly the k-th
-	// distance so every boundary candidate surfaces; ties collects them.
-	kth := math.Inf(1)
-	var ties []Neighbor
-	for pq.Len() > 0 {
-		if len(out) == k && (*pq)[0].dist2 > kth {
-			break
-		}
-		e := heap.Pop(pq).(distEntry)
-		if !e.isNode {
-			if len(out) < k {
-				out = append(out, Neighbor{Item: e.item, Dist2: e.dist2})
-				if len(out) == k {
-					kth = out[k-1].Dist2
-				}
-			} else if e.dist2 == kth {
-				ties = append(ties, Neighbor{Item: e.item, Dist2: e.dist2})
-			}
-			continue
-		}
-		v := t.readView(e.page)
-		st.NodesVisited++
-		if v.isLeaf() {
-			st.LeavesVisited++
-			for i, cnt := 0, v.count(); i < cnt; i++ {
-				r := v.rectAt(i)
-				heap.Push(pq, distEntry{
-					dist2: pointRectDist2(x, y, r),
-					item:  geom.Item{Rect: r, ID: v.refAt(i)},
-				})
-			}
-		} else {
-			st.InternalVisited++
-			for i, cnt := 0, v.count(); i < cnt; i++ {
-				heap.Push(pq, distEntry{
-					dist2:  pointRectDist2(x, y, v.rectAt(i)),
-					page:   storage.PageID(v.refAt(i)),
-					isNode: true,
-				})
-			}
-		}
-	}
-	if len(ties) > 0 {
-		// Re-select the boundary: among every item at the k-th distance,
-		// keep the smallest IDs.
-		i := len(out)
-		for i > 0 && out[i-1].Dist2 == kth {
-			i--
-		}
-		group := make([]Neighbor, 0, len(out)-i+len(ties))
-		group = append(group, out[i:]...)
-		group = append(group, ties...)
-		sort.Slice(group, func(a, b int) bool { return group[a].Item.ID < group[b].Item.ID })
-		out = append(out[:i], group[:k-i]...)
-	}
-	// Canonical order: ascending distance, ties by ID. Equal-distance items
-	// can surface in tree-shape-dependent order (one may hide in a
-	// not-yet-expanded equal-distance node while another pops), so the sort
-	// — not discovery order — defines the result sequence.
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist2 != out[b].Dist2 {
-			return out[a].Dist2 < out[b].Dist2
-		}
-		return out[a].Item.ID < out[b].Item.ID
-	})
+	out, st, _ := t.RunNearest(x, y, k, RunOptions{})
 	return out, st
 }
 

@@ -1,47 +1,36 @@
 package rtree
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 
 	"prtree/internal/storage"
 )
 
-// Tree persistence: the disk snapshot followed by the tree metadata, so a
-// bulk-loaded index survives process restarts.
+// Stream persistence: the disk snapshot followed by the tree metadata
+// record, so a bulk-loaded index survives process restarts. This is the
+// v1 Save/Load path for in-memory disks; trees on persistent backends
+// (storage.FileBackend) persist in place via EncodeMeta/OpenFromMeta and
+// need no snapshot round-trip.
 
 // Version 02 appended the layout word to the metadata record.
 var treeMagic = [8]byte{'P', 'R', 'T', 'R', 'E', 'E', '0', '2'}
 
-// Save serializes the tree (its disk pages and metadata) to w.
+// Save serializes the tree (its disk pages and metadata) to w. It requires
+// the tree to live on an in-memory Disk (possibly behind decorators);
+// file-backed trees persist in place and need no Save.
 func (t *Tree) Save(w io.Writer) error {
-	if _, err := t.pager.Disk().WriteTo(w); err != nil {
+	disk, ok := storage.AsDisk(t.pager.Backend())
+	if !ok {
+		return fmt.Errorf("rtree: Save requires an in-memory disk backend; persistent backends save in place via Sync/Close")
+	}
+	if _, err := disk.WriteTo(w); err != nil {
 		return fmt.Errorf("rtree: saving disk: %w", err)
 	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(treeMagic[:]); err != nil {
-		return err
+	if _, err := w.Write(t.EncodeMeta()); err != nil {
+		return fmt.Errorf("rtree: saving metadata: %w", err)
 	}
-	meta := []uint64{
-		uint64(t.root),
-		uint64(t.height),
-		uint64(t.nItems),
-		uint64(t.nNodes),
-		uint64(t.cfg.Fanout),
-		uint64(t.cfg.MinFill),
-		uint64(t.cfg.Split),
-		uint64(t.cfg.Layout),
-	}
-	var buf [8]byte
-	for _, v := range meta {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		if _, err := bw.Write(buf[:]); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return nil
 }
 
 // Load reads a tree written by Save, restoring it onto a fresh disk with a
@@ -51,85 +40,23 @@ func Load(r io.Reader, cacheCapacity int) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rtree: loading disk: %w", err)
 	}
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
+	return LoadOnto(r, disk, cacheCapacity)
+}
+
+// LoadOnto reads the trailing tree metadata of a Save stream whose disk
+// snapshot was already restored onto dev (possibly wrapped in decorators
+// such as storage.Counting) and reopens the tree with a pager of the given
+// cache capacity.
+func LoadOnto(r io.Reader, dev storage.Backend, cacheCapacity int) (*Tree, error) {
+	meta := make([]byte, MetaSize)
+	if _, err := io.ReadFull(r, meta[:len(treeMagic)]); err != nil {
 		return nil, fmt.Errorf("rtree: reading tree magic: %w", err)
 	}
-	if magic != treeMagic {
-		return nil, fmt.Errorf("rtree: bad tree magic %q", magic[:])
+	if [8]byte(meta[:8]) != treeMagic {
+		return nil, fmt.Errorf("rtree: bad tree magic %q", meta[:8])
 	}
-	meta := make([]uint64, 8)
-	var buf [8]byte
-	for i := range meta {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("rtree: reading metadata: %w", err)
-		}
-		meta[i] = binary.LittleEndian.Uint64(buf[:])
+	if _, err := io.ReadFull(r, meta[len(treeMagic):]); err != nil {
+		return nil, fmt.Errorf("rtree: reading metadata: %w", err)
 	}
-	// Range-check the root id at full width before narrowing to PageID: a
-	// corrupt upper half would otherwise truncate onto a valid page.
-	if meta[0] >= uint64(disk.NumPages()) {
-		return nil, fmt.Errorf("rtree: root page %d out of range", meta[0])
-	}
-	if meta[7] > uint64(LayoutCompressed) {
-		return nil, fmt.Errorf("rtree: unknown layout %d", meta[7])
-	}
-	t := &Tree{
-		pager: storage.NewPager(disk, cacheCapacity),
-		cfg: Config{
-			Fanout:  int(meta[4]),
-			MinFill: int(meta[5]),
-			Split:   SplitKind(meta[6]),
-			Layout:  Layout(meta[7]),
-		},
-		root:   storage.PageID(meta[0]),
-		height: int(meta[1]),
-		nItems: int(meta[2]),
-		nNodes: int(meta[3]),
-		buf:    make([]byte, disk.BlockSize()),
-	}
-	if t.height < 1 {
-		return nil, fmt.Errorf("rtree: implausible height %d", t.height)
-	}
-	// Sanity-check the root page header through a zero-copy view over the
-	// raw block (PeekNoCopy, so the restored disk's I/O counters stay
-	// untouched) before handing the tree to callers. The block size and
-	// fanout come from the untrusted stream too, so bound them first: the
-	// header must fit the block, and the recorded fanout must not exceed
-	// the block's real capacity — the entry-count check below then bounds
-	// rectAt/refAt indexing transitively.
-	if disk.BlockSize() < t.cfg.Layout.HeaderSize()+t.cfg.Layout.EntrySize() {
-		return nil, fmt.Errorf("rtree: block size %d cannot hold a node", disk.BlockSize())
-	}
-	if t.cfg.Fanout < 2 || t.cfg.Fanout > t.cfg.Layout.MaxFanout(disk.BlockSize()) {
-		return nil, fmt.Errorf("rtree: implausible fanout %d for %d-byte blocks under the %s layout", t.cfg.Fanout, disk.BlockSize(), t.cfg.Layout)
-	}
-	root := makeView(disk.PeekNoCopy(t.root))
-	if kind := root.data[0]; kind != kindLeaf && kind != kindInternal {
-		return nil, fmt.Errorf("rtree: root page %d has invalid kind %d", t.root, kind)
-	}
-	if cnt := root.count(); cnt > t.cfg.Fanout {
-		return nil, fmt.Errorf("rtree: root page %d holds %d entries, fanout %d", t.root, cnt, t.cfg.Fanout)
-	}
-	// A page's header flag, not the tree config, decides its format; bound
-	// the count against the page's OWN layout so entry offsets stay inside
-	// the block even for hostile flag/count combinations (e.g. a
-	// raw-flagged page under a compressed-config fanout of 338).
-	pageLayout := LayoutRaw
-	if root.comp {
-		pageLayout = LayoutCompressed
-	}
-	if cnt := root.count(); cnt > pageLayout.MaxFanout(disk.BlockSize()) {
-		return nil, fmt.Errorf("rtree: %s root page %d holds %d entries for %d-byte blocks", pageLayout, t.root, cnt, disk.BlockSize())
-	}
-	if t.height > 1 && root.isLeaf() {
-		return nil, fmt.Errorf("rtree: root page %d is a leaf but height is %d", t.root, t.height)
-	}
-	if t.height == 1 && !root.isLeaf() {
-		return nil, fmt.Errorf("rtree: root page %d is internal but height is 1", t.root)
-	}
-	// These checks cover the root header only; a hostile snapshot can still
-	// encode deeper corruption (cycles, wrong levels). Callers loading
-	// untrusted data should run Validate, which walks every page.
-	return t, nil
+	return OpenFromMeta(storage.NewPager(dev, cacheCapacity), meta)
 }

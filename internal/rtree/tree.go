@@ -72,8 +72,8 @@ type Tree struct {
 
 // New creates an empty tree (a single empty leaf) on the pager.
 func New(pager *storage.Pager, cfg Config) *Tree {
-	normalizeConfig(&cfg, pager.Disk().BlockSize())
-	t := &Tree{pager: pager, cfg: cfg, height: 1, buf: make([]byte, pager.Disk().BlockSize())}
+	normalizeConfig(&cfg, pager.Backend().BlockSize())
+	t := &Tree{pager: pager, cfg: cfg, height: 1, buf: make([]byte, pager.Backend().BlockSize())}
 	root := &node{kind: kindLeaf}
 	t.root = t.allocNode(root)
 	return t
@@ -146,7 +146,7 @@ func (t *Tree) overflows(n *node) bool {
 		return true
 	}
 	if t.cfg.Layout != LayoutCompressed ||
-		n.count() <= LayoutRaw.MaxFanout(t.pager.Disk().BlockSize()) {
+		n.count() <= LayoutRaw.MaxFanout(t.pager.Backend().BlockSize()) {
 		return false
 	}
 	if n.isLeaf() {
@@ -180,7 +180,7 @@ func (t *Tree) writeNode(id storage.PageID, n *node) {
 }
 
 func (t *Tree) allocNode(n *node) storage.PageID {
-	id := t.pager.Disk().Alloc()
+	id := t.pager.Backend().Alloc()
 	t.writeNode(id, n)
 	t.nNodes++
 	return id
@@ -189,7 +189,7 @@ func (t *Tree) allocNode(n *node) storage.PageID {
 // allocPage writes pre-encoded page bytes (from encodeLeafPage /
 // encodeInternalPage) without materializing a node.
 func (t *Tree) allocPage(data []byte) storage.PageID {
-	id := t.pager.Disk().Alloc()
+	id := t.pager.Backend().Alloc()
 	t.pager.Write(id, data)
 	t.nNodes++
 	return id
@@ -197,7 +197,7 @@ func (t *Tree) allocPage(data []byte) storage.PageID {
 
 func (t *Tree) freeNode(id storage.PageID) {
 	t.pager.Invalidate(id)
-	t.pager.Disk().Free(id)
+	t.pager.Backend().Free(id)
 	t.nNodes--
 }
 
@@ -232,60 +232,13 @@ type QueryStats struct {
 // Query reports every stored item intersecting q to fn, in unspecified
 // order. fn returning false stops the query early. The returned stats count
 // node visits regardless of cache state; block-level I/O is tracked by the
-// disk underneath the pager. fn must not mutate the tree: the traversal
+// backend underneath the pager. fn must not mutate the tree: the traversal
 // reads node entries in place from the page cache.
 //
-// The traversal is an explicit-stack preorder walk over zero-copy views —
-// children are pushed in reverse so pages are visited in exactly the order
-// the recursive formulation would, keeping I/O traces identical even under
-// a bounded LRU.
-//
-// Compressed internal pages are filtered in the quantized integer domain:
-// the query is quantized outward once per page (CoverQuery) and entries
-// compare as four uint16 pairs, with conservative covers on both sides, so
-// no truly intersecting subtree is ever skipped. Leaf entries are exact
-// under both layouts (lossless compression or raw fallback), keeping
-// reported results bit-identical to the raw layout.
+// Query is the no-options form of RunWindow; see query.go for the
+// traversal-order, layout and accounting guarantees.
 func (t *Tree) Query(q geom.Rect, fn func(geom.Item) bool) QueryStats {
-	var st QueryStats
-	sp := t.grabStack()
-	stack := append(*sp, t.root)
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		v := t.readView(id)
-		st.NodesVisited++
-		if v.isLeaf() {
-			st.LeavesVisited++
-			for i, cnt := 0, v.count(); i < cnt; i++ {
-				r := v.rectAt(i)
-				if q.Intersects(r) {
-					st.Results++
-					if fn != nil && !fn(geom.Item{Rect: r, ID: v.refAt(i)}) {
-						t.releaseStack(sp, stack)
-						return st
-					}
-				}
-			}
-			continue
-		}
-		st.InternalVisited++
-		if v.comp {
-			qq := v.qz.CoverQuery(q)
-			for i := v.count() - 1; i >= 0; i-- {
-				if v.qrectAt(i).Intersects(qq) {
-					stack = append(stack, storage.PageID(v.refAt(i)))
-				}
-			}
-			continue
-		}
-		for i := v.count() - 1; i >= 0; i-- {
-			if q.Intersects(v.rectAt(i)) {
-				stack = append(stack, storage.PageID(v.refAt(i)))
-			}
-		}
-	}
-	t.releaseStack(sp, stack)
+	st, _ := t.RunWindow(q, false, fn, RunOptions{})
 	return st
 }
 

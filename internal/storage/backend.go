@@ -1,0 +1,86 @@
+package storage
+
+// Backend is the block-device seam every tree runs on: a store of
+// fixed-size pages addressed by PageID, with allocation, block-granular
+// reads and writes, an opaque superblock metadata blob, and durability
+// hooks. The in-memory Disk simulator (the paper's measurement device),
+// the file-backed page store (FileBackend) and the Counting decorator all
+// implement it, so the same worst-case-optimal tree serves simulated,
+// persistent and instrumented storage without touching the algorithms.
+//
+// Contracts shared by all implementations:
+//
+//   - Alloc returns a zeroed page and is not counted as I/O by decorators;
+//     the subsequent Write is.
+//   - Write may pass fewer than BlockSize bytes; the page tail is
+//     untouched. Read copies at most BlockSize bytes into buf.
+//   - ReadNoCopy returns bytes a caller must treat as read-only; the slice
+//     stays valid until the page is freed or rewritten. PeekNoCopy is the
+//     same without being counted by decorators — it exists for test
+//     assertions and open-time sanity checks, never algorithm code.
+//   - Pages must have a single writer at a time and must not be accessed
+//     after Free; allocation, Free, Meta and SetMeta are safe for
+//     concurrent use, and concurrent readers of distinct or immutable
+//     pages are always safe.
+//   - Sync makes all written pages and the metadata blob durable (a no-op
+//     for memory-only backends). Close syncs and releases the resources;
+//     a closed backend must not be used again.
+type Backend interface {
+	// BlockSize returns the page size in bytes.
+	BlockSize() int
+	// NumPages returns the number of pages ever allocated, including
+	// freed ones.
+	NumPages() int
+	// PagesInUse returns allocated minus freed pages.
+	PagesInUse() int
+	// Alloc reserves a zeroed page and returns its id.
+	Alloc() PageID
+	// Free returns a page to the allocator.
+	Free(id PageID)
+	// Read copies page id into buf and returns the number of bytes copied.
+	Read(id PageID, buf []byte) int
+	// ReadNoCopy returns the page contents without copying (read-only).
+	ReadNoCopy(id PageID) []byte
+	// PeekNoCopy returns the page contents without counting I/O.
+	PeekNoCopy(id PageID) []byte
+	// Write stores data into page id. len(data) must not exceed BlockSize;
+	// shorter data leaves the page tail untouched.
+	Write(id PageID, data []byte)
+	// SetMeta replaces the backend's superblock metadata blob (the tree
+	// root descriptor for persistent backends).
+	SetMeta(meta []byte)
+	// Meta returns the current metadata blob (nil when unset).
+	Meta() []byte
+	// Sync flushes pages and metadata to stable storage.
+	Sync() error
+	// Close syncs and releases the backend.
+	Close() error
+}
+
+// Compile-time interface conformance.
+var (
+	_ Backend = (*Disk)(nil)
+	_ Backend = (*FileBackend)(nil)
+	_ Backend = (*Counting)(nil)
+)
+
+// unwrapper is implemented by decorators (e.g. Counting) so helpers can
+// reach the innermost backend.
+type unwrapper interface{ Unwrap() Backend }
+
+// AsDisk unwraps decorators and returns the underlying in-memory Disk, or
+// (nil, false) when the chain bottoms out in a different backend. It lets
+// snapshot-based persistence (rtree.Save) and simulator-only test hooks
+// state their requirement explicitly.
+func AsDisk(b Backend) (*Disk, bool) {
+	for {
+		if d, ok := b.(*Disk); ok {
+			return d, true
+		}
+		u, ok := b.(unwrapper)
+		if !ok {
+			return nil, false
+		}
+		b = u.Unwrap()
+	}
+}

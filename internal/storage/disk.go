@@ -60,9 +60,10 @@ func (s Stats) String() string {
 type Disk struct {
 	blockSize int
 
-	mu    sync.RWMutex // guards pages and free slice headers
+	mu    sync.RWMutex // guards pages, free and meta slice headers
 	pages [][]byte
 	free  []PageID
+	meta  []byte
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
@@ -168,6 +169,31 @@ func (d *Disk) PagesInUse() int {
 	defer d.mu.RUnlock()
 	return len(d.pages) - len(d.free)
 }
+
+// SetMeta implements Backend: the blob lives in memory alongside the pages.
+func (d *Disk) SetMeta(meta []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.meta = append(d.meta[:0], meta...)
+}
+
+// Meta implements Backend.
+func (d *Disk) Meta() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.meta == nil {
+		return nil
+	}
+	out := make([]byte, len(d.meta))
+	copy(out, d.meta)
+	return out
+}
+
+// Sync implements Backend; memory is always "durable", so it is a no-op.
+func (d *Disk) Sync() error { return nil }
+
+// Close implements Backend as a no-op: a Disk holds no external resources.
+func (d *Disk) Close() error { return nil }
 
 func (d *Disk) checkIDLocked(id PageID) {
 	if int(id) >= len(d.pages) {

@@ -1,0 +1,378 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileBackend stores pages in a real O_RDWR page file, so an index larger
+// than RAM can be built once and served across process runs with no
+// Save/Load round-trip through an in-memory copy.
+//
+// File layout (all page reads and writes are page-aligned):
+//
+//	block 0                 header: magic[6] version:u16 blockSize:u32
+//	                                numPages:u32 freeCount:u32 metaLen:u32
+//	                                meta[metaLen]   (superblock blob)
+//	block 1..numPages       pages (page i at offset (1+i)*blockSize)
+//	trailer                 freeCount little-endian u32 freelist entries
+//
+// The header and freelist trailer are rewritten by Sync (which also
+// fsyncs); page writes go straight to the file at their aligned offset.
+// A file that was not cleanly Synced/Closed fails Open's size check — the
+// recorded geometry is the consistency boundary.
+//
+// Like Disk, a FileBackend is safe for concurrent use: allocation, the
+// freelist and the metadata blob are mutex-protected, and page reads and
+// writes use pread/pwrite, which are safe from many goroutines. Individual
+// pages keep the single-writer / no-use-after-Free contract.
+//
+// Open-time corruption (short header, bad magic or version, mismatched
+// block size, truncated page data, out-of-range freelist entries) is
+// reported as a wrapped, inspectable error — see ErrBadMagic, ErrBadVersion,
+// ErrBlockSizeMismatch and ErrTruncated. Runtime I/O failures on a
+// validated file (e.g. the file shrinking underneath a running process)
+// panic, mirroring the Disk's out-of-range page panics.
+type FileBackend struct {
+	f         *os.File
+	blockSize int
+
+	mu       sync.RWMutex
+	numPages int
+	free     []PageID
+	meta     []byte
+	zero     []byte // shared all-zero block for Alloc
+	closed   bool
+}
+
+// Page-file corruption sentinels, matchable with errors.Is through the
+// wrapped errors OpenFile returns.
+var (
+	// ErrBadMagic reports a file that is not a prtree page file.
+	ErrBadMagic = errors.New("bad page-file magic")
+	// ErrBadVersion reports a page file written by an unknown format version.
+	ErrBadVersion = errors.New("unsupported page-file version")
+	// ErrBlockSizeMismatch reports opening a page file with a different
+	// block size than it was created with.
+	ErrBlockSizeMismatch = errors.New("page-file block size mismatch")
+	// ErrTruncated reports a page file shorter than its header's recorded
+	// geometry requires.
+	ErrTruncated = errors.New("page file truncated")
+)
+
+var fileMagic = [6]byte{'P', 'R', 'P', 'A', 'G', 'E'}
+
+const (
+	fileVersion    = 1
+	fileHeaderSize = 6 + 2 + 4 + 4 + 4 + 4 // magic version blockSize numPages freeCount metaLen
+	maxBlockSize   = 1 << 24
+)
+
+// CreateFile creates (or truncates) a page file at path with the given
+// block size and returns an empty backend on it. The header is written
+// immediately so even an empty index file is openable after a crash.
+func CreateFile(path string, blockSize int) (*FileBackend, error) {
+	if blockSize < fileHeaderSize || blockSize > maxBlockSize {
+		return nil, fmt.Errorf("storage: create %s: block size %d outside [%d, %d]",
+			path, blockSize, fileHeaderSize, maxBlockSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create page file: %w", err)
+	}
+	fb := &FileBackend{f: f, blockSize: blockSize, zero: make([]byte, blockSize)}
+	if err := fb.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return fb, nil
+}
+
+// OpenFile opens an existing page file, validating its header and
+// geometry. expectBlockSize 0 accepts whatever block size the file was
+// created with; a non-zero value must match or Open fails with a wrapped
+// ErrBlockSizeMismatch.
+func OpenFile(path string, expectBlockSize int) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	fb, err := openValidated(f, expectBlockSize)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	return fb, nil
+}
+
+func openValidated(f *os.File, expectBlockSize int) (*FileBackend, error) {
+	var hdr [fileHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("short header read: %w", err)
+	}
+	if [6]byte(hdr[0:6]) != fileMagic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, hdr[0:6])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[6:8]); v != fileVersion {
+		return nil, fmt.Errorf("%w: %d (this build reads version %d)", ErrBadVersion, v, fileVersion)
+	}
+	blockSize := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if blockSize < fileHeaderSize || blockSize > maxBlockSize {
+		return nil, fmt.Errorf("implausible block size %d", blockSize)
+	}
+	if expectBlockSize != 0 && expectBlockSize != blockSize {
+		return nil, fmt.Errorf("%w: file has %d-byte blocks, caller wants %d",
+			ErrBlockSizeMismatch, blockSize, expectBlockSize)
+	}
+	numPages := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	freeCount := int(binary.LittleEndian.Uint32(hdr[16:20]))
+	metaLen := int(binary.LittleEndian.Uint32(hdr[20:24]))
+	if metaLen > blockSize-fileHeaderSize {
+		return nil, fmt.Errorf("metadata blob of %d bytes overflows the %d-byte header block", metaLen, blockSize)
+	}
+	if freeCount > numPages {
+		return nil, fmt.Errorf("freelist of %d entries exceeds %d pages", freeCount, numPages)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	want := int64(1+numPages)*int64(blockSize) + 4*int64(freeCount)
+	if st.Size() < want {
+		return nil, fmt.Errorf("%w: %d bytes on disk, header records %d pages of %d bytes (want %d bytes)",
+			ErrTruncated, st.Size(), numPages, blockSize, want)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := f.ReadAt(meta, fileHeaderSize); err != nil {
+		return nil, fmt.Errorf("reading metadata blob: %w", err)
+	}
+	free := make([]PageID, freeCount)
+	if freeCount > 0 {
+		raw := make([]byte, 4*freeCount)
+		if _, err := f.ReadAt(raw, int64(1+numPages)*int64(blockSize)); err != nil {
+			return nil, fmt.Errorf("reading freelist: %w", err)
+		}
+		for i := range free {
+			v := binary.LittleEndian.Uint32(raw[4*i:])
+			if int(v) >= numPages {
+				return nil, fmt.Errorf("freelist entry %d out of range (%d pages)", v, numPages)
+			}
+			free[i] = PageID(v)
+		}
+	}
+	return &FileBackend{
+		f:         f,
+		blockSize: blockSize,
+		numPages:  numPages,
+		free:      free,
+		meta:      meta,
+		zero:      make([]byte, blockSize),
+	}, nil
+}
+
+// BlockSize implements Backend.
+func (fb *FileBackend) BlockSize() int { return fb.blockSize }
+
+// NumPages implements Backend.
+func (fb *FileBackend) NumPages() int {
+	fb.mu.RLock()
+	defer fb.mu.RUnlock()
+	return fb.numPages
+}
+
+// PagesInUse implements Backend.
+func (fb *FileBackend) PagesInUse() int {
+	fb.mu.RLock()
+	defer fb.mu.RUnlock()
+	return fb.numPages - len(fb.free)
+}
+
+// offset returns the file offset of page id.
+func (fb *FileBackend) offset(id PageID) int64 {
+	return int64(1+int(id)) * int64(fb.blockSize)
+}
+
+func (fb *FileBackend) checkIDLocked(id PageID) {
+	if int(id) >= fb.numPages {
+		panic(fmt.Sprintf("storage: page %d out of range (have %d pages)", id, fb.numPages))
+	}
+}
+
+// Alloc implements Backend. Recycled pages are zeroed in place (their old
+// bytes are stale data); fresh pages extend the file lazily — reads past
+// EOF already yield zeros, the first Write extends the file, and Sync's
+// truncate materializes any unwritten tail — so bulk loads issue one
+// pwrite per page, not two.
+func (fb *FileBackend) Alloc() PageID {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if n := len(fb.free); n > 0 {
+		id := fb.free[n-1]
+		fb.free = fb.free[:n-1]
+		if _, err := fb.f.WriteAt(fb.zero, fb.offset(id)); err != nil {
+			panic(fmt.Sprintf("storage: zeroing page %d: %v", id, err))
+		}
+		return id
+	}
+	id := PageID(fb.numPages)
+	fb.numPages++
+	return id
+}
+
+// Free implements Backend.
+func (fb *FileBackend) Free(id PageID) {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.checkIDLocked(id)
+	fb.free = append(fb.free, id)
+}
+
+// Read implements Backend.
+func (fb *FileBackend) Read(id PageID, buf []byte) int {
+	if len(buf) > fb.blockSize {
+		buf = buf[:fb.blockSize]
+	}
+	fb.mu.RLock()
+	fb.checkIDLocked(id)
+	fb.mu.RUnlock()
+	n, err := fb.f.ReadAt(buf, fb.offset(id))
+	if err != nil && err != io.EOF {
+		panic(fmt.Sprintf("storage: reading page %d: %v", id, err))
+	}
+	return n
+}
+
+// ReadNoCopy implements Backend. The file cannot hand out a stable view of
+// its own storage, so each call returns a private copy of the page — still
+// read-only to honor the shared contract.
+func (fb *FileBackend) ReadNoCopy(id PageID) []byte {
+	buf := make([]byte, fb.blockSize)
+	fb.Read(id, buf)
+	return buf
+}
+
+// PeekNoCopy implements Backend.
+func (fb *FileBackend) PeekNoCopy(id PageID) []byte { return fb.ReadNoCopy(id) }
+
+// Write implements Backend: a page-aligned pwrite of data at the page's
+// offset. Shorter-than-block data leaves the page tail untouched.
+func (fb *FileBackend) Write(id PageID, data []byte) {
+	if len(data) > fb.blockSize {
+		panic(fmt.Sprintf("storage: write of %d bytes exceeds block size %d", len(data), fb.blockSize))
+	}
+	fb.mu.RLock()
+	fb.checkIDLocked(id)
+	fb.mu.RUnlock()
+	if _, err := fb.f.WriteAt(data, fb.offset(id)); err != nil {
+		panic(fmt.Sprintf("storage: writing page %d: %v", id, err))
+	}
+}
+
+// SetMeta implements Backend. The blob is persisted by the next Sync and
+// must fit the header block alongside the fixed header.
+func (fb *FileBackend) SetMeta(meta []byte) {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.meta = append(fb.meta[:0], meta...)
+}
+
+// Meta implements Backend.
+func (fb *FileBackend) Meta() []byte {
+	fb.mu.RLock()
+	defer fb.mu.RUnlock()
+	if fb.meta == nil {
+		return nil
+	}
+	out := make([]byte, len(fb.meta))
+	copy(out, fb.meta)
+	return out
+}
+
+// Sync implements Backend: it rewrites the header block and the freelist
+// trailer, truncates the file to its exact recorded size and fsyncs.
+func (fb *FileBackend) Sync() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.syncLocked()
+}
+
+func (fb *FileBackend) syncLocked() error {
+	if fb.closed {
+		return fmt.Errorf("storage: sync on closed page file")
+	}
+	if len(fb.meta) > fb.blockSize-fileHeaderSize {
+		return fmt.Errorf("storage: metadata blob of %d bytes overflows the %d-byte header block",
+			len(fb.meta), fb.blockSize)
+	}
+	hdr := make([]byte, fileHeaderSize+len(fb.meta))
+	copy(hdr[0:6], fileMagic[:])
+	binary.LittleEndian.PutUint16(hdr[6:8], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(fb.blockSize))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(fb.numPages))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(fb.free)))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(fb.meta)))
+	copy(hdr[fileHeaderSize:], fb.meta)
+	if _, err := fb.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("storage: writing page-file header: %w", err)
+	}
+	end := int64(1+fb.numPages) * int64(fb.blockSize)
+	if len(fb.free) > 0 {
+		trailer := make([]byte, 4*len(fb.free))
+		for i, id := range fb.free {
+			binary.LittleEndian.PutUint32(trailer[4*i:], uint32(id))
+		}
+		if _, err := fb.f.WriteAt(trailer, end); err != nil {
+			return fmt.Errorf("storage: writing freelist trailer: %w", err)
+		}
+		end += int64(len(trailer))
+	}
+	if err := fb.f.Truncate(end); err != nil {
+		return fmt.Errorf("storage: truncating page file: %w", err)
+	}
+	if err := fb.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync page file: %w", err)
+	}
+	return nil
+}
+
+// Abandon closes the file WITHOUT syncing, leaving the on-disk bytes
+// exactly as they were. It exists for error paths (e.g. a failed Open
+// whose caller must not mutate a file it could not validate); normal
+// shutdown uses Close.
+func (fb *FileBackend) Abandon() {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return
+	}
+	fb.closed = true
+	fb.f.Close()
+}
+
+// Close implements Backend: it syncs and closes the file. Closing an
+// already closed backend is a no-op.
+func (fb *FileBackend) Close() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return nil
+	}
+	if err := fb.syncLocked(); err != nil {
+		fb.closed = true
+		fb.f.Close()
+		return err
+	}
+	fb.closed = true
+	if err := fb.f.Close(); err != nil {
+		return fmt.Errorf("storage: closing page file: %w", err)
+	}
+	return nil
+}

@@ -49,7 +49,7 @@ import (
 // still safe under concurrency, but serialized; bounded caches exist for
 // the cache-ablation experiments, not the throughput path.
 type Pager struct {
-	disk     *Disk
+	dev      Backend
 	capacity int // max unpinned cached pages; <0 means unbounded, 0 disables
 	shards   []pagerShard
 	mask     uint32
@@ -81,10 +81,10 @@ type cacheEntry struct {
 	ready chan struct{} // nil in bounded shards (filled synchronously)
 }
 
-// NewPager returns a pager over disk whose cache holds at most capacity
-// unpinned pages. capacity 0 disables unpinned caching entirely;
+// NewPager returns a pager over a backend whose cache holds at most
+// capacity unpinned pages. capacity 0 disables unpinned caching entirely;
 // a negative capacity means "unbounded".
-func NewPager(disk *Disk, capacity int) *Pager {
+func NewPager(dev Backend, capacity int) *Pager {
 	nshards := pagerShardCount
 	if capacity > 0 {
 		// A bounded cache keeps the exact global LRU eviction order, which
@@ -92,7 +92,7 @@ func NewPager(disk *Disk, capacity int) *Pager {
 		nshards = 1
 	}
 	p := &Pager{
-		disk:     disk,
+		dev:      dev,
 		capacity: capacity,
 		shards:   make([]pagerShard, nshards),
 		mask:     uint32(nshards - 1),
@@ -111,8 +111,14 @@ func NewPager(disk *Disk, capacity int) *Pager {
 
 func (p *Pager) shard(id PageID) *pagerShard { return &p.shards[uint32(id)&p.mask] }
 
-// Disk returns the underlying device.
-func (p *Pager) Disk() *Disk { return p.disk }
+// Backend returns the underlying device.
+func (p *Pager) Backend() Backend { return p.dev }
+
+// Disk returns the underlying in-memory Disk when the backend is (or
+// wraps) one, and nil otherwise.
+//
+// Deprecated: use Backend; Disk exists for simulator-specific tests.
+func (p *Pager) Disk() *Disk { d, _ := AsDisk(p.dev); return d }
 
 // Read returns the contents of page id, fetching from disk (and counting
 // one block read) only on a cache miss. The returned slice is shared with
@@ -139,8 +145,8 @@ func (p *Pager) readBounded(id PageID) []byte {
 		return ce.data
 	}
 	p.misses.Add(1)
-	data := make([]byte, p.disk.BlockSize())
-	p.disk.Read(id, data)
+	data := make([]byte, p.dev.BlockSize())
+	p.dev.Read(id, data)
 	ce := &cacheEntry{id: id, data: data}
 	ce.elem = s.lru.PushFront(ce)
 	s.entries[id] = ce
@@ -177,8 +183,8 @@ func (p *Pager) readStriped(id PageID) []byte {
 		// Caching disabled: every unpinned access reads the disk, exactly
 		// as it would serially.
 		p.misses.Add(1)
-		data := make([]byte, p.disk.BlockSize())
-		p.disk.Read(id, data)
+		data := make([]byte, p.dev.BlockSize())
+		p.dev.Read(id, data)
 		return data
 	}
 	for {
@@ -223,8 +229,8 @@ func (p *Pager) fill(s *pagerShard, ce *cacheEntry) []byte {
 		}
 		close(ce.ready)
 	}()
-	data := make([]byte, p.disk.BlockSize())
-	p.disk.Read(ce.id, data)
+	data := make([]byte, p.dev.BlockSize())
+	p.dev.Read(ce.id, data)
 	s.mu.Lock()
 	ce.data = data
 	s.mu.Unlock()
@@ -271,8 +277,8 @@ func (p *Pager) Pin(id PageID) {
 			// Bounded single-shard mode: load under the lock, exactly as
 			// the pre-striping pager did (in-flight entries must never be
 			// visible to readBounded, which assumes filled entries).
-			data := make([]byte, p.disk.BlockSize())
-			p.disk.Read(id, data)
+			data := make([]byte, p.dev.BlockSize())
+			p.dev.Read(id, data)
 			s.pinned[id] = data
 			s.mu.Unlock()
 			return
@@ -337,7 +343,7 @@ func (p *Pager) Write(id PageID, data []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.decoded, id)
-	p.disk.Write(id, data)
+	p.dev.Write(id, data)
 	if pd, ok := s.pinned[id]; ok {
 		refreshCopy(pd, data)
 		return

@@ -56,12 +56,13 @@ func DecodeItem(buf []byte) geom.Item {
 	}
 }
 
-// ItemFile is a sequential file of Items stored in whole blocks on a Disk —
+// ItemFile is a sequential file of Items stored in whole blocks on a
+// storage Backend —
 // the TPIE "stream" the paper's bulk-loading algorithms operate on. Appends
 // buffer one block in memory and spill to disk when full; reads scan block
 // by block. All spills and scans count block I/O on the underlying Disk.
 type ItemFile struct {
-	disk     *Disk
+	dev      Backend
 	perBlock int
 	pages    []PageID
 	n        int    // total records, including those in wbuf
@@ -70,19 +71,19 @@ type ItemFile struct {
 	sealed   bool
 }
 
-// NewItemFile returns an empty item file on disk.
-func NewItemFile(disk *Disk) *ItemFile {
+// NewItemFile returns an empty item file on the backend.
+func NewItemFile(dev Backend) *ItemFile {
 	return &ItemFile{
-		disk:     disk,
-		perBlock: ItemsPerBlock(disk.BlockSize()),
-		wbuf:     make([]byte, disk.BlockSize()),
+		dev:      dev,
+		perBlock: ItemsPerBlock(dev.BlockSize()),
+		wbuf:     make([]byte, dev.BlockSize()),
 	}
 }
 
 // NewItemFileFrom builds a sealed item file holding the given items,
 // counting the block writes needed to store them.
-func NewItemFileFrom(disk *Disk, items []geom.Item) *ItemFile {
-	f := NewItemFile(disk)
+func NewItemFileFrom(dev Backend, items []geom.Item) *ItemFile {
+	f := NewItemFile(dev)
 	for _, it := range items {
 		f.Append(it)
 	}
@@ -143,8 +144,8 @@ func (f *ItemFile) AppendRawBlock(block []byte, count int) {
 		panic(fmt.Sprintf("storage: raw block of %d bytes holds fewer than %d records", len(block), count))
 	}
 	if f.wcount == 0 && count == f.perBlock {
-		id := f.disk.Alloc()
-		f.disk.Write(id, block[:count*ItemSize])
+		id := f.dev.Alloc()
+		f.dev.Write(id, block[:count*ItemSize])
 		f.pages = append(f.pages, id)
 		f.n += count
 		return
@@ -166,7 +167,7 @@ func (f *ItemFile) RawBlock(b int) (data []byte, count int) {
 	if b == len(f.pages)-1 {
 		count = f.n - b*f.perBlock
 	}
-	return f.disk.ReadNoCopy(f.pages[b])[:count*ItemSize], count
+	return f.dev.ReadNoCopy(f.pages[b])[:count*ItemSize], count
 }
 
 // Seal flushes the final partial block and freezes the file for reading.
@@ -182,8 +183,8 @@ func (f *ItemFile) Seal() {
 }
 
 func (f *ItemFile) flush() {
-	id := f.disk.Alloc()
-	f.disk.Write(id, f.wbuf[:f.wcount*ItemSize])
+	id := f.dev.Alloc()
+	f.dev.Write(id, f.wbuf[:f.wcount*ItemSize])
 	f.pages = append(f.pages, id)
 	f.wcount = 0
 }
@@ -192,7 +193,7 @@ func (f *ItemFile) flush() {
 func (f *ItemFile) Free() {
 	f.Seal()
 	for _, id := range f.pages {
-		f.disk.Free(id)
+		f.dev.Free(id)
 	}
 	f.pages = nil
 	f.n = 0
@@ -232,7 +233,7 @@ func (r *ItemReader) Next() (it geom.Item, ok bool) {
 	if b != r.block {
 		// Zero-copy view of the page: valid because file pages are
 		// immutable once sealed and readers do not outlive Free.
-		r.buf = r.f.disk.ReadNoCopy(r.f.pages[b])
+		r.buf = r.f.dev.ReadNoCopy(r.f.pages[b])
 		r.block = b
 	}
 	off := (r.pos % r.f.perBlock) * ItemSize
@@ -249,7 +250,7 @@ func (r *ItemReader) NextRaw() (rec []byte, ok bool) {
 	}
 	b := r.pos / r.f.perBlock
 	if b != r.block {
-		r.buf = r.f.disk.ReadNoCopy(r.f.pages[b])
+		r.buf = r.f.dev.ReadNoCopy(r.f.pages[b])
 		r.block = b
 	}
 	off := (r.pos % r.f.perBlock) * ItemSize

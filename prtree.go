@@ -5,30 +5,49 @@
 //
 // The package bulk-loads PR-trees (and, for comparison, the packed Hilbert,
 // four-dimensional Hilbert, STR and Top-down Greedy Split R-trees the
-// paper benchmarks) onto a simulated block disk that counts every 4 KB
-// block transfer, supports the classic heuristic updates (Guttman and
-// R*-tree) on any loaded tree, answers point, containment and k-nearest-
-// neighbor queries besides window queries, persists indexes to files, and
-// offers a logarithmic-method dynamic index that keeps the optimal query
-// bound under insertions and deletions.
+// paper benchmarks) onto a pluggable block store, supports the classic
+// heuristic updates (Guttman and R*-tree) on any loaded tree, answers
+// point, containment and k-nearest-neighbor queries besides window
+// queries, and offers a logarithmic-method dynamic index that keeps the
+// optimal query bound under insertions and deletions.
+//
+// # Storage backends
+//
+// Every tree runs on a storage Backend — the block-device seam. Three
+// implementations ship with the package: the in-memory simulator that
+// reproduces the paper's block-I/O accounting (the default), a file-backed
+// page store for indexes that persist in place and outlive the process
+// (Create/Open/Close), and a counting decorator that turns I/O stats into
+// a wrapper any backend can carry. Custom backends plug in through
+// Options.Backend.
+//
+// # Queries
+//
+// The v2 query surface is one composable Query value — Window, Point,
+// Contained or Nearest, refined with WithLimit, WithContext and WithStats
+// — consumed through a callback (Run), a range-over-func iterator (Iter)
+// or a slice (Collect):
+//
+//	tree, _ := prtree.Create("roads.pr", nil)
+//	_ = tree.BulkLoad(prtree.PR, items)
+//	for it := range tree.Iter(prtree.Window(prtree.NewRect(0, 0, 1, 1))) {
+//		fmt.Println(it.ID)
+//	}
+//	_ = tree.Close() // persists in place; reopen with prtree.Open
+//
+// The v1 entry points (Query, Search, SearchPoint, SearchContained,
+// NearestNeighbors) remain as thin deprecated shims over the same
+// executor.
 //
 // The read path is safe for many concurrent goroutines — the page cache is
 // lock-striped and per-traversal scratch is pooled — and QueryBatch /
 // SearchBatch fan a slice of queries across a bounded worker pool with
-// results identical to sequential execution. Mutations (Insert, Delete)
-// require exclusive access.
-//
-// Quick start:
-//
-//	items := []prtree.Item{
-//		{Rect: prtree.NewRect(0, 0, 1, 1), ID: 1},
-//		{Rect: prtree.NewRect(2, 2, 3, 3), ID: 2},
-//	}
-//	tree := prtree.Bulk(items, nil)
-//	hits := tree.Search(prtree.NewRect(0.5, 0.5, 2.5, 2.5))
+// results identical to sequential execution. Mutations (Insert, Delete,
+// BulkLoad) require exclusive access.
 package prtree
 
 import (
+	"fmt"
 	"io"
 
 	"prtree/internal/bulk"
@@ -45,10 +64,10 @@ type Rect = geom.Rect
 // be unique when using Delete or the Dynamic index.
 type Item = geom.Item
 
-// QueryStats reports the node visits of one window query.
+// QueryStats reports the node visits of one query.
 type QueryStats = rtree.QueryStats
 
-// IOStats counts block reads and writes on the simulated disk.
+// IOStats counts block reads and writes on the tree's storage backend.
 type IOStats = storage.Stats
 
 // NewRect builds a rectangle from two corners in any order.
@@ -98,9 +117,10 @@ const (
 )
 
 // Options tunes a tree. The zero value (or nil) reproduces the paper's
-// setup: 4 KB blocks, 36-byte entries, fanout 113.
+// setup: 4 KB blocks, 36-byte entries, fanout 113, in-memory storage.
 type Options struct {
-	// BlockSize is the simulated disk block size in bytes (default 4096).
+	// BlockSize is the storage block size in bytes (default 4096). Open
+	// treats a non-zero value as a requirement the index file must match.
 	BlockSize int
 	// Fanout caps entries per node (default: the layout's block-size
 	// maximum — 113 raw, 338 compressed).
@@ -118,10 +138,19 @@ type Options struct {
 	Update UpdateHeuristic
 	// Parallelism bounds the bulk-load pipeline's worker pool (clamped
 	// to GOMAXPROCS; 0 or 1 means serial). The built tree and the
-	// simulated disk's I/O counts are identical at every setting.
+	// backend's I/O counts are identical at every setting.
 	Parallelism int
+	// Backend supplies the block store trees are built on. nil (the
+	// default) means a fresh in-memory simulator of BlockSize-byte
+	// blocks. Bulk, BulkWith and NewDynamic honor it; Create and Open
+	// always use the file-backed store at their path. The backend's block
+	// size wins over BlockSize when both are set.
+	Backend Backend
 }
 
+// normalized fills in the zero-value defaults. CacheCapacity keeps 0 as
+// "default" (unbounded): disabling the cache requires building the pager
+// through the internal packages, which the accounting experiments do.
 func (o *Options) normalized() Options {
 	var out Options
 	if o != nil {
@@ -130,16 +159,41 @@ func (o *Options) normalized() Options {
 	if out.BlockSize <= 0 {
 		out.BlockSize = storage.DefaultBlockSize
 	}
-	if out.CacheCapacity == 0 && (o == nil || o.CacheCapacity == 0) {
+	if out.CacheCapacity == 0 {
 		out.CacheCapacity = -1
 	}
 	return out
 }
 
-// Tree is a bulk-loaded R-tree on its own simulated disk.
+// bulkOptions translates the public knobs for the internal loaders.
+func (o Options) bulkOptions() bulk.Options {
+	return bulk.Options{
+		Fanout:      o.Fanout,
+		Layout:      o.Layout,
+		MemoryItems: o.MemoryItems,
+		Split:       o.Update,
+		Parallelism: o.Parallelism,
+	}
+}
+
+// Tree is an R-tree on a storage backend: the in-memory simulator by
+// default, a page file when built with Create/Open, or any Backend
+// supplied via Options.Backend. All block I/O flows through a Counting
+// decorator, so IOStats works uniformly across backends.
 type Tree struct {
-	inner *rtree.Tree
-	disk  *storage.Disk
+	inner  *rtree.Tree
+	pager  *storage.Pager
+	io     *storage.Counting
+	bopts  bulk.Options
+	path   string // index file path; "" for non-file backends
+	closed bool
+}
+
+// newTree assembles the facade plumbing over a raw backend: the counting
+// decorator (IOStats) and the pager every node access goes through.
+func newTree(dev storage.Backend, o Options) (*storage.Counting, *storage.Pager) {
+	counting := storage.NewCounting(dev)
+	return counting, storage.NewPager(counting, o.CacheCapacity)
 }
 
 // Bulk builds a PR-tree over items. opts may be nil for defaults.
@@ -147,82 +201,35 @@ func Bulk(items []Item, opts *Options) *Tree {
 	return BulkWith(PR, items, opts)
 }
 
-// BulkWith builds a tree with the chosen loader. opts may be nil.
+// BulkWith builds a tree with the chosen loader on the backend from opts
+// (a fresh in-memory simulator when unset). opts may be nil.
 func BulkWith(l Loader, items []Item, opts *Options) *Tree {
 	o := opts.normalized()
-	disk := storage.NewDisk(o.BlockSize)
-	pager := storage.NewPager(disk, o.CacheCapacity)
-	tr := bulk.FromItems(l, pager, items, bulk.Options{
-		Fanout:      o.Fanout,
-		Layout:      o.Layout,
-		MemoryItems: o.MemoryItems,
-		Split:       o.Update,
-		Parallelism: o.Parallelism,
-	})
-	return &Tree{inner: tr, disk: disk}
+	dev := o.Backend
+	if dev == nil {
+		dev = storage.NewDisk(o.BlockSize)
+	}
+	counting, pager := newTree(dev, o)
+	tr := bulk.FromItems(l, pager, items, o.bulkOptions())
+	return &Tree{inner: tr, pager: pager, io: counting, bopts: o.bulkOptions()}
 }
 
-// Query reports every stored item intersecting q to fn (return false to
-// stop early) and returns visit statistics.
-func (t *Tree) Query(q Rect, fn func(Item) bool) QueryStats {
-	return t.inner.Query(q, fn)
+// BulkLoad (re)builds the tree's contents in place from items using loader
+// l: existing pages are released back to the backend and the new tree is
+// built on the same storage, so a file-backed index is rebuilt within its
+// file. The tree must not be queried concurrently.
+func (t *Tree) BulkLoad(l Loader, items []Item) error {
+	if t.closed {
+		return fmt.Errorf("prtree: BulkLoad on closed tree")
+	}
+	t.inner.Release()
+	t.inner = bulk.FromItems(l, t.pager, items, t.bopts)
+	return nil
 }
 
-// Search returns all items intersecting q.
-func (t *Tree) Search(q Rect) []Item { return t.inner.QueryCollect(q) }
-
-// QueryBatch runs every query concurrently on up to workers goroutines
-// (bounded by GOMAXPROCS; <= 1 means serial) and returns per-query
-// statistics indexed like queries. Per-query results and stats are
-// identical to sequential Query calls at every worker count, and with the
-// default unbounded cache the aggregate block-I/O is bit-identical too.
-// The tree must not be mutated while a batch runs.
-func (t *Tree) QueryBatch(queries []Rect, workers int) []QueryStats {
-	return t.inner.QueryBatch(queries, workers, nil)
-}
-
-// SearchBatch runs every query concurrently on up to workers goroutines and
-// returns the matching items per query, indexed and ordered exactly as N
-// sequential Search calls would be. The tree must not be mutated while a
-// batch runs.
-func (t *Tree) SearchBatch(queries []Rect, workers int) [][]Item {
-	results, _ := t.inner.SearchBatch(queries, workers)
-	return results
-}
-
-// SearchPoint returns all items containing the point (x, y).
-func (t *Tree) SearchPoint(x, y float64) []Item {
-	var out []Item
-	t.inner.PointQuery(x, y, func(it Item) bool {
-		out = append(out, it)
-		return true
-	})
-	return out
-}
-
-// SearchContained returns all items fully contained in q.
-func (t *Tree) SearchContained(q Rect) []Item {
-	var out []Item
-	t.inner.ContainmentQuery(q, func(it Item) bool {
-		out = append(out, it)
-		return true
-	})
-	return out
-}
-
-// Neighbor is one nearest-neighbor result with its squared distance.
-type Neighbor = rtree.Neighbor
-
-// NearestNeighbors returns the k items closest to (x, y) in ascending
-// distance order (best-first search).
-func (t *Tree) NearestNeighbors(x, y float64, k int) []Neighbor {
-	out, _ := t.inner.NearestNeighbors(x, y, k)
-	return out
-}
-
-// Insert adds an item with Guttman's dynamic insertion. Note the paper's
-// caveat: updates do not maintain the PR-tree's worst-case query
-// guarantee; use Dynamic for guaranteed bounds under updates.
+// Insert adds an item with the configured dynamic-update heuristic. Note
+// the paper's caveat: updates do not maintain the PR-tree's worst-case
+// query guarantee; use Dynamic for guaranteed bounds under updates.
 func (t *Tree) Insert(it Item) { t.inner.Insert(it) }
 
 // Delete removes the item with matching rect and id, reporting success.
@@ -234,24 +241,30 @@ func (t *Tree) Len() int { return t.inner.Len() }
 // Height returns the number of tree levels.
 func (t *Tree) Height() int { return t.inner.Height() }
 
-// Nodes returns the number of disk pages the tree occupies.
+// Nodes returns the number of storage pages the tree occupies.
 func (t *Tree) Nodes() int { return t.inner.Nodes() }
 
 // MBR returns the bounding box of all stored items.
 func (t *Tree) MBR() Rect { return t.inner.MBR() }
 
+// Fanout returns the effective maximum entries per node.
+func (t *Tree) Fanout() int { return t.inner.Config().Fanout }
+
+// Layout returns the on-disk page layout the tree writes.
+func (t *Tree) Layout() PageLayout { return t.inner.Config().Layout }
+
 // Utilization returns the average leaf and internal node fill fractions.
 func (t *Tree) Utilization() (leaf, internal float64) { return t.inner.Utilization() }
 
-// IOStats returns cumulative block reads/writes on the tree's disk. The
-// counters are atomic: IOStats is safe to call while queries (including
-// QueryBatch) run.
-func (t *Tree) IOStats() IOStats { return t.disk.Stats() }
+// IOStats returns cumulative block reads/writes on the tree's backend.
+// The counters are atomic: IOStats is safe to call while queries
+// (including QueryBatch) run.
+func (t *Tree) IOStats() IOStats { return t.io.Stats() }
 
-// ResetIOStats zeroes the disk counters (e.g. before measuring a query).
+// ResetIOStats zeroes the I/O counters (e.g. before measuring a query).
 // Like IOStats it is safe to call while queries run; in-flight queries
 // simply split their I/O across the two measurement intervals.
-func (t *Tree) ResetIOStats() { t.disk.ResetStats() }
+func (t *Tree) ResetIOStats() { t.io.ResetStats() }
 
 // PinInternal pins every internal node in the page cache, reproducing the
 // paper's measurement setup where query I/O equals leaf blocks fetched.
@@ -265,6 +278,8 @@ func (t *Tree) Validate() error { return t.inner.Validate() }
 func (t *Tree) Items() []Item { return t.inner.Items() }
 
 // Save serializes the tree (pages and metadata) to w; reopen it with Load.
+// It requires an in-memory backend — file-backed trees persist in place
+// through Sync and Close and never need a Save round-trip.
 func (t *Tree) Save(w io.Writer) error { return t.inner.Save(w) }
 
 // Load reads a tree written by Save. opts controls the cache of the
@@ -272,11 +287,19 @@ func (t *Tree) Save(w io.Writer) error { return t.inner.Save(w) }
 // built).
 func Load(r io.Reader, opts *Options) (*Tree, error) {
 	o := opts.normalized()
-	inner, err := rtree.Load(r, o.CacheCapacity)
+	disk, err := storage.ReadDiskFrom(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("prtree: %w", err)
 	}
-	return &Tree{inner: inner, disk: inner.Pager().Disk()}, nil
+	counting := storage.NewCounting(disk)
+	inner, err := rtree.LoadOnto(r, counting, o.CacheCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("prtree: %w", err)
+	}
+	cfg := inner.Config()
+	bopts := o.bulkOptions()
+	bopts.Fanout, bopts.Layout, bopts.Split = cfg.Fanout, cfg.Layout, cfg.Split
+	return &Tree{inner: inner, pager: inner.Pager(), io: counting, bopts: bopts}, nil
 }
 
 // Dynamic is a fully dynamic spatial index with the PR-tree query bound,
@@ -284,23 +307,27 @@ func Load(r io.Reader, opts *Options) (*Tree, error) {
 // (Sections 1.2 and 4).
 type Dynamic struct {
 	inner *logmethod.Tree
-	disk  *storage.Disk
+	io    *storage.Counting
 }
 
 // DynamicStats mirrors logmethod query statistics.
 type DynamicStats = logmethod.QueryStats
 
-// NewDynamic creates an empty dynamic index. opts may be nil.
+// NewDynamic creates an empty dynamic index on the backend from opts (a
+// fresh in-memory simulator when unset). opts may be nil.
 func NewDynamic(opts *Options) *Dynamic {
 	o := opts.normalized()
-	disk := storage.NewDisk(o.BlockSize)
-	pager := storage.NewPager(disk, o.CacheCapacity)
+	dev := o.Backend
+	if dev == nil {
+		dev = storage.NewDisk(o.BlockSize)
+	}
+	counting, pager := newTree(dev, o)
 	inner := logmethod.New(pager, bulk.Options{
 		Fanout:      o.Fanout,
 		Layout:      o.Layout,
 		MemoryItems: o.MemoryItems,
 	}, 0)
-	return &Dynamic{inner: inner, disk: disk}
+	return &Dynamic{inner: inner, io: counting}
 }
 
 // Insert adds an item (amortized O((log_{M/B} N)(log2 N)/B) block I/Os).
@@ -323,8 +350,8 @@ func (d *Dynamic) Len() int { return d.inner.Len() }
 // Flush compacts the structure into a single static PR-tree.
 func (d *Dynamic) Flush() { d.inner.Flush() }
 
-// IOStats returns cumulative block reads/writes on the index's disk.
-func (d *Dynamic) IOStats() IOStats { return d.disk.Stats() }
+// IOStats returns cumulative block reads/writes on the index's backend.
+func (d *Dynamic) IOStats() IOStats { return d.io.Stats() }
 
-// ResetIOStats zeroes the disk counters.
-func (d *Dynamic) ResetIOStats() { d.disk.ResetStats() }
+// ResetIOStats zeroes the I/O counters.
+func (d *Dynamic) ResetIOStats() { d.io.ResetStats() }

@@ -1,0 +1,252 @@
+package prtree
+
+import (
+	"context"
+	"iter"
+
+	"prtree/internal/geom"
+	"prtree/internal/rtree"
+)
+
+// Query is one composable spatial query: a kind (window, point stabbing,
+// containment or k-nearest-neighbor) plus per-query options. Build one
+// with Window, Point, Contained or Nearest, refine it with the With*
+// methods (each returns a derived value; a Query is immutable and
+// reusable), and consume it with Tree.Run, Tree.Iter or Tree.Collect:
+//
+//	q := prtree.Window(rect).WithLimit(100).WithContext(ctx)
+//	for it := range tree.Iter(q) {
+//		...
+//	}
+//
+// Every kind runs on the same worst-case-optimal executor with identical
+// block-I/O accounting; the options only bound or observe the traversal.
+type Query struct {
+	kind  queryKind
+	rect  Rect
+	x, y  float64
+	k     int
+	limit int
+	ctx   context.Context
+	stats *QueryStats
+}
+
+type queryKind uint8
+
+const (
+	queryWindow queryKind = iota
+	queryContained
+	queryNearest
+)
+
+// Window queries every item intersecting q (the paper's window query).
+func Window(q Rect) Query { return Query{kind: queryWindow, rect: q} }
+
+// Point queries every item containing the point (x, y) — a degenerate
+// window, with the same optimal bound.
+func Point(x, y float64) Query { return Query{kind: queryWindow, rect: geom.PointRect(x, y)} }
+
+// Contained queries every item fully contained in q. Traversal prunes on
+// intersection and filters on containment at the leaves.
+func Contained(q Rect) Query { return Query{kind: queryContained, rect: q} }
+
+// Nearest queries the k items closest to (x, y), yielded in ascending
+// distance order with deterministic (distance, ID) tie-breaking.
+func Nearest(x, y float64, k int) Query { return Query{kind: queryNearest, x: x, y: y, k: k} }
+
+// WithLimit bounds the query to at most n results; n <= 0 removes the
+// bound. The traversal stops — successfully — as soon as the limit is hit.
+func (q Query) WithLimit(n int) Query {
+	if n < 0 {
+		n = 0
+	}
+	q.limit = n
+	return q
+}
+
+// WithContext attaches a cancellation context. The executor polls it at
+// node-visit granularity: once ctx is done, the traversal stops within one
+// node visit and the context's error is returned by Run and Collect (Iter
+// simply stops yielding).
+func (q Query) WithContext(ctx context.Context) Query {
+	q.ctx = ctx
+	return q
+}
+
+// WithStats directs the executor to write the query's node-visit
+// statistics into st when the query finishes (including early stops from
+// limits, callbacks and cancellation).
+func (q Query) WithStats(st *QueryStats) Query {
+	q.stats = st
+	return q
+}
+
+// cancelPoll adapts a context to the executor's per-node poll. A nil or
+// never-canceled context costs queries nothing.
+func cancelPoll(ctx context.Context) func() error {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() error {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+}
+
+// Run executes q, reporting each matching item to fn (return false to stop
+// early; fn may be nil to count only). Window and containment results come
+// in unspecified order; Nearest results in ascending distance order. The
+// only error source is query cancellation: a non-nil error is the
+// context's (context.Canceled or context.DeadlineExceeded), wrapped
+// statistics land in the WithStats sink regardless.
+//
+// fn must not mutate the tree, and Run is safe for any number of
+// concurrent callers (the read path shares no traversal state).
+func (t *Tree) Run(q Query, fn func(Item) bool) error {
+	opt := rtree.RunOptions{Limit: q.limit, Cancel: cancelPoll(q.ctx)}
+	var st QueryStats
+	var err error
+	switch q.kind {
+	case queryNearest:
+		var out []rtree.Neighbor
+		out, st, err = t.inner.RunNearest(q.x, q.y, q.k, opt)
+		if err == nil && fn != nil {
+			for _, nb := range out {
+				if !fn(nb.Item) {
+					break
+				}
+			}
+		}
+	case queryContained:
+		st, err = t.inner.RunWindow(q.rect, true, fn, opt)
+	default:
+		st, err = t.inner.RunWindow(q.rect, false, fn, opt)
+	}
+	if q.stats != nil {
+		*q.stats = st
+	}
+	return err
+}
+
+// Iter returns a pull iterator over q's results, for use with Go 1.23
+// range-over-func:
+//
+//	for it := range tree.Iter(q) {
+//		...
+//	}
+//
+// Breaking out of the loop stops the underlying traversal immediately for
+// window, point and containment queries; a Nearest query materializes its
+// k results before the first yield (best-first search must see every
+// boundary candidate), so bound its work with a smaller k or WithLimit
+// rather than an early break.
+// Cancellation (WithContext) ends iteration early without a signal — use
+// Run when the caller must distinguish "done" from "canceled", or attach a
+// WithStats sink and inspect it after the loop.
+func (t *Tree) Iter(q Query) iter.Seq[Item] {
+	return func(yield func(Item) bool) {
+		_ = t.Run(q, yield)
+	}
+}
+
+// Collect executes q and returns all results as a slice.
+func (t *Tree) Collect(q Query) ([]Item, error) {
+	var out []Item
+	err := t.Run(q, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out, err
+}
+
+// Count executes q discarding results and returns the result count. A
+// WithStats sink on q is honored, not replaced.
+func (t *Tree) Count(q Query) (int, error) {
+	var st QueryStats
+	if q.stats == nil {
+		q.stats = &st
+	}
+	err := t.Run(q, nil)
+	return q.stats.Results, err
+}
+
+// --- v1 query shims -------------------------------------------------------
+//
+// The pre-v2 entry points remain as thin wrappers over the unified
+// executor so existing callers keep working; new code should build Query
+// values instead.
+
+// Query reports every stored item intersecting q to fn (return false to
+// stop early) and returns visit statistics.
+//
+// Deprecated: use Run, Iter or Collect with a Window query; statistics
+// come from WithStats.
+func (t *Tree) Query(q Rect, fn func(Item) bool) QueryStats {
+	var st QueryStats
+	_ = t.Run(Window(q).WithStats(&st), fn)
+	return st
+}
+
+// Search returns all items intersecting q.
+//
+// Deprecated: use Collect or Iter with a Window query.
+func (t *Tree) Search(q Rect) []Item {
+	out, _ := t.Collect(Window(q))
+	return out
+}
+
+// SearchPoint returns all items containing the point (x, y).
+//
+// Deprecated: use Collect or Iter with a Point query.
+func (t *Tree) SearchPoint(x, y float64) []Item {
+	out, _ := t.Collect(Point(x, y))
+	return out
+}
+
+// SearchContained returns all items fully contained in q.
+//
+// Deprecated: use Collect or Iter with a Contained query.
+func (t *Tree) SearchContained(q Rect) []Item {
+	out, _ := t.Collect(Contained(q))
+	return out
+}
+
+// Neighbor is one nearest-neighbor result with its squared distance.
+type Neighbor = rtree.Neighbor
+
+// NearestNeighbors returns the k items closest to (x, y) in ascending
+// distance order (best-first search).
+//
+// Deprecated: use Run, Iter or Collect with a Nearest query; this shim
+// remains for callers that need the squared distances.
+func (t *Tree) NearestNeighbors(x, y float64, k int) []Neighbor {
+	out, _, _ := t.inner.RunNearest(x, y, k, rtree.RunOptions{})
+	return out
+}
+
+// QueryBatch runs every window query concurrently on up to workers
+// goroutines (bounded by GOMAXPROCS; <= 1 means serial) and returns
+// per-query statistics indexed like queries. Per-query results and stats
+// are identical to sequential Query calls at every worker count, and with
+// the default unbounded cache the aggregate block-I/O is bit-identical
+// too. The tree must not be mutated while a batch runs.
+func (t *Tree) QueryBatch(queries []Rect, workers int) []QueryStats {
+	return t.inner.QueryBatch(queries, workers, nil)
+}
+
+// SearchBatch runs every query concurrently on up to workers goroutines and
+// returns the matching items per query, indexed and ordered exactly as N
+// sequential Search calls would be. The tree must not be mutated while a
+// batch runs.
+func (t *Tree) SearchBatch(queries []Rect, workers int) [][]Item {
+	results, _ := t.inner.SearchBatch(queries, workers)
+	return results
+}

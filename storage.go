@@ -1,0 +1,57 @@
+package prtree
+
+import "prtree/internal/storage"
+
+// The storage seam, re-exported: Backend is the block-device interface
+// every tree runs on, and PageID addresses one block. They alias the
+// internal types, so custom backends written against these names satisfy
+// the interface the internal pager, loaders and trees consume.
+
+// Backend is a pluggable block store; see Options.Backend. Implementations
+// must honor the contracts documented on the interface: zeroed pages from
+// Alloc, block-granular reads/writes, a superblock metadata blob, and
+// Sync/Close durability hooks.
+type Backend = storage.Backend
+
+// PageID identifies one block of a Backend.
+type PageID = storage.PageID
+
+// DefaultBlockSize is the paper's disk block size: 4 KB, which holds 113
+// 36-byte rectangle entries.
+const DefaultBlockSize = storage.DefaultBlockSize
+
+// NewMemoryBackend returns the in-memory block-store simulator the paper's
+// experiments run on (block-granular I/O, allocation freelist). blockSize
+// <= 0 selects DefaultBlockSize.
+func NewMemoryBackend(blockSize int) Backend {
+	if blockSize <= 0 {
+		blockSize = storage.DefaultBlockSize
+	}
+	return storage.NewDisk(blockSize)
+}
+
+// NewFileBackend creates (or truncates) a page file at path and returns a
+// persistent Backend on it — the building block behind Create. Most
+// callers want Create/Open instead, which also manage the tree metadata.
+func NewFileBackend(path string, blockSize int) (Backend, error) {
+	if blockSize <= 0 {
+		blockSize = storage.DefaultBlockSize
+	}
+	return storage.CreateFile(path, blockSize)
+}
+
+// Index-file corruption sentinels, matchable through the errors Open
+// returns with errors.Is.
+var (
+	// ErrBadMagic reports a file that is not a prtree index file.
+	ErrBadMagic = storage.ErrBadMagic
+	// ErrBadVersion reports an index file written by an unknown format
+	// version.
+	ErrBadVersion = storage.ErrBadVersion
+	// ErrBlockSizeMismatch reports opening an index file with
+	// Options.BlockSize different from the file's.
+	ErrBlockSizeMismatch = storage.ErrBlockSizeMismatch
+	// ErrTruncated reports an index file shorter than its header's
+	// recorded geometry requires.
+	ErrTruncated = storage.ErrTruncated
+)

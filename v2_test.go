@@ -1,0 +1,393 @@
+package prtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/workload"
+)
+
+// TestOptionsNormalized is the table test over nil/zero/negative options
+// for the collapsed normalization logic.
+func TestOptionsNormalized(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        *Options
+		wantBlock int
+		wantCache int
+	}{
+		{name: "nil", in: nil, wantBlock: DefaultBlockSize, wantCache: -1},
+		{name: "zero", in: &Options{}, wantBlock: DefaultBlockSize, wantCache: -1},
+		{name: "negative block", in: &Options{BlockSize: -5}, wantBlock: DefaultBlockSize, wantCache: -1},
+		{name: "explicit block", in: &Options{BlockSize: 8192}, wantBlock: 8192, wantCache: -1},
+		{name: "negative cache stays", in: &Options{CacheCapacity: -7}, wantBlock: DefaultBlockSize, wantCache: -7},
+		{name: "positive cache stays", in: &Options{CacheCapacity: 12}, wantBlock: DefaultBlockSize, wantCache: 12},
+		{name: "both set", in: &Options{BlockSize: 2048, CacheCapacity: 3}, wantBlock: 2048, wantCache: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.normalized()
+			if got.BlockSize != tc.wantBlock {
+				t.Errorf("BlockSize = %d, want %d", got.BlockSize, tc.wantBlock)
+			}
+			if got.CacheCapacity != tc.wantCache {
+				t.Errorf("CacheCapacity = %d, want %d", got.CacheCapacity, tc.wantCache)
+			}
+			if tc.in != nil && !reflect.DeepEqual(*tc.in, func() Options {
+				c := *tc.in
+				return c
+			}()) {
+				t.Errorf("normalized mutated its receiver")
+			}
+		})
+	}
+}
+
+// TestBackendEquivalence is the cross-backend property test: the same
+// dataset built on the in-memory backend and the file backend must produce
+// bit-identical window, point, containment, k-NN and batch results — and
+// identical query block-I/O — under both page layouts.
+func TestBackendEquivalence(t *testing.T) {
+	for _, layout := range []PageLayout{LayoutRaw, LayoutCompressed} {
+		for _, seed := range []int64{3, 11} {
+			t.Run(fmt.Sprintf("layout=%v/seed=%d", layout, seed), func(t *testing.T) {
+				items := dataset.Western(6000, seed)
+				// A small bounded cache makes the block-I/O identity check
+				// below meaningful: queries keep reading real blocks instead
+				// of serving everything from a fully warmed unbounded cache.
+				opts := &Options{Layout: layout, CacheCapacity: 8}
+
+				mem := Bulk(items, opts)
+
+				path := filepath.Join(t.TempDir(), "equiv.pr")
+				file, err := Create(path, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer file.Close()
+				if err := file.BulkLoad(PR, items); err != nil {
+					t.Fatal(err)
+				}
+
+				if mem.Len() != file.Len() || mem.Height() != file.Height() || mem.Nodes() != file.Nodes() {
+					t.Fatalf("shape differs: mem %d/%d/%d file %d/%d/%d",
+						mem.Len(), mem.Height(), mem.Nodes(), file.Len(), file.Height(), file.Nodes())
+				}
+				if err := mem.Validate(); err != nil {
+					t.Fatalf("in-memory tree invalid: %v", err)
+				}
+				if err := file.Validate(); err != nil {
+					t.Fatalf("file-backed tree invalid: %v", err)
+				}
+
+				world := geom.ItemsMBR(items)
+				queries := workload.Squares(world, 0.005, 40, seed+1)
+				rng := rand.New(rand.NewSource(seed + 2))
+
+				mem.ResetIOStats()
+				file.ResetIOStats()
+				for i, q := range queries {
+					var stM, stF QueryStats
+					gotM, errM := mem.Collect(Window(q).WithStats(&stM))
+					gotF, errF := file.Collect(Window(q).WithStats(&stF))
+					if errM != nil || errF != nil {
+						t.Fatalf("query %d errors: %v / %v", i, errM, errF)
+					}
+					if !reflect.DeepEqual(gotM, gotF) {
+						t.Fatalf("query %d: results differ across backends", i)
+					}
+					if stM != stF {
+						t.Fatalf("query %d: stats %+v vs %+v", i, stM, stF)
+					}
+
+					cm, _ := mem.Collect(Contained(q))
+					cf, _ := file.Collect(Contained(q))
+					if !reflect.DeepEqual(cm, cf) {
+						t.Fatalf("query %d: containment results differ", i)
+					}
+
+					x, y := rng.Float64(), rng.Float64()
+					if !reflect.DeepEqual(mem.SearchPoint(x, y), file.SearchPoint(x, y)) {
+						t.Fatalf("query %d: point results differ", i)
+					}
+					nm := mem.NearestNeighbors(x, y, 10)
+					nf := file.NearestNeighbors(x, y, 10)
+					if !reflect.DeepEqual(nm, nf) {
+						t.Fatalf("query %d: k-NN results differ", i)
+					}
+				}
+				ioM, ioF := mem.IOStats(), file.IOStats()
+				if ioM != ioF {
+					t.Fatalf("query block-I/O differs across backends: mem %v file %v", ioM, ioF)
+				}
+
+				// Batch execution must agree with itself across backends too.
+				bm := mem.SearchBatch(queries, 4)
+				bf := file.SearchBatch(queries, 4)
+				if !reflect.DeepEqual(bm, bf) {
+					t.Fatal("batch results differ across backends")
+				}
+				sm := mem.QueryBatch(queries, 4)
+				sf := file.QueryBatch(queries, 4)
+				if !reflect.DeepEqual(sm, sf) {
+					t.Fatal("batch stats differ across backends")
+				}
+			})
+		}
+	}
+}
+
+// TestCreateCloseOpen proves the persistence contract: Open after
+// Create+Close returns a tree whose Items and query results match the
+// original with zero rebuild work (no page writes at all).
+func TestCreateCloseOpen(t *testing.T) {
+	for _, layout := range []PageLayout{LayoutRaw, LayoutCompressed} {
+		t.Run(layout.String(), func(t *testing.T) {
+			items := dataset.Western(4000, 17)
+			path := filepath.Join(t.TempDir(), "roundtrip.pr")
+
+			tree, err := Create(path, &Options{Layout: layout})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.BulkLoad(TGS, items); err != nil {
+				t.Fatal(err)
+			}
+			wantItems := tree.Items()
+			world := geom.ItemsMBR(items)
+			queries := workload.Squares(world, 0.01, 20, 5)
+			wantResults := make([][]Item, len(queries))
+			for i, q := range queries {
+				wantResults[i] = tree.Search(q)
+			}
+			wantLen, wantHeight, wantNodes := tree.Len(), tree.Height(), tree.Nodes()
+			if err := tree.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Close(); err != nil {
+				t.Errorf("second Close: %v", err)
+			}
+
+			re, err := Open(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if re.Len() != wantLen || re.Height() != wantHeight || re.Nodes() != wantNodes {
+				t.Fatalf("reopened shape %d/%d/%d, want %d/%d/%d",
+					re.Len(), re.Height(), re.Nodes(), wantLen, wantHeight, wantNodes)
+			}
+			if got := re.Items(); !reflect.DeepEqual(got, wantItems) {
+				t.Fatal("reopened Items differ")
+			}
+			for i, q := range queries {
+				if got := re.Search(q); !reflect.DeepEqual(got, wantResults[i]) {
+					t.Fatalf("reopened query %d differs", i)
+				}
+			}
+			// Zero rebuild work: reopening and querying writes nothing.
+			if io := re.IOStats(); io.Writes != 0 {
+				t.Fatalf("reopened tree performed %d writes; want 0 (zero rebuild)", io.Writes)
+			}
+			if err := re.Validate(); err != nil {
+				t.Fatalf("reopened tree invalid: %v", err)
+			}
+
+			// Opening with a mismatched block size must fail inspectably.
+			if _, err := Open(path, &Options{BlockSize: 8192}); !errors.Is(err, ErrBlockSizeMismatch) {
+				t.Fatalf("Open with wrong block size: %v, want ErrBlockSizeMismatch", err)
+			}
+		})
+	}
+}
+
+// TestFileBackedUpdatesPersist: dynamic inserts and deletes on a
+// file-backed tree survive Close/Open.
+func TestFileBackedUpdatesPersist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "updates.pr")
+	tree, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var items []Item
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		it := Item{Rect: NewRect(x, y, x+0.01, y+0.01), ID: uint32(i)}
+		items = append(items, it)
+		tree.Insert(it)
+	}
+	for i := 0; i < 100; i++ {
+		if !tree.Delete(items[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	want := tree.Search(NewRect(0, 0, 1, 1))
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 400 {
+		t.Fatalf("reopened Len = %d, want 400", re.Len())
+	}
+	if got := re.Search(NewRect(0, 0, 1, 1)); !reflect.DeepEqual(got, want) {
+		t.Fatal("reopened search differs after updates")
+	}
+}
+
+// TestQuerySurface exercises the composable Query options: limits,
+// cancellation, stats sinks, Count, and the Nearest iterator order.
+func TestQuerySurface(t *testing.T) {
+	items := dataset.Western(3000, 23)
+	tree := Bulk(items, nil)
+	world := geom.ItemsMBR(items)
+
+	t.Run("limit", func(t *testing.T) {
+		var st QueryStats
+		got, err := tree.Collect(Window(world).WithLimit(7).WithStats(&st))
+		if err != nil || len(got) != 7 || st.Results != 7 {
+			t.Fatalf("limit 7: %d results, stats %+v, err %v", len(got), st, err)
+		}
+		if n, err := tree.Count(Window(world).WithLimit(0)); err != nil || n != tree.Len() {
+			t.Fatalf("limit 0 (unbounded): %d, want %d (err %v)", n, tree.Len(), err)
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var st QueryStats
+		err := tree.Run(Window(world).WithContext(ctx).WithStats(&st), nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled query: err = %v", err)
+		}
+		if st.NodesVisited != 0 {
+			t.Fatalf("canceled-before-start query visited %d nodes", st.NodesVisited)
+		}
+		// A live context must not interfere.
+		if _, err := tree.Collect(Window(world).WithContext(context.Background())); err != nil {
+			t.Fatalf("live context: %v", err)
+		}
+		// Nearest honors cancellation too.
+		if err := tree.Run(Nearest(0.5, 0.5, 5).WithContext(ctx), nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled nearest: err = %v", err)
+		}
+	})
+
+	t.Run("kinds agree with v1 shims", func(t *testing.T) {
+		q := workload.Squares(world, 0.02, 1, 3)[0]
+		if got, _ := tree.Collect(Window(q)); !reflect.DeepEqual(got, tree.Search(q)) {
+			t.Error("Window/Search disagree")
+		}
+		if got, _ := tree.Collect(Contained(q)); !reflect.DeepEqual(got, tree.SearchContained(q)) {
+			t.Error("Contained/SearchContained disagree")
+		}
+		x, y := 0.3, 0.7
+		if got, _ := tree.Collect(Point(x, y)); !reflect.DeepEqual(got, tree.SearchPoint(x, y)) {
+			t.Error("Point/SearchPoint disagree")
+		}
+		want := tree.NearestNeighbors(0.5, 0.5, 9)
+		got, err := tree.Collect(Nearest(0.5, 0.5, 9))
+		if err != nil || len(got) != len(want) {
+			t.Fatalf("Nearest: %d results, want %d (err %v)", len(got), len(want), err)
+		}
+		for i := range got {
+			if got[i] != want[i].Item {
+				t.Fatalf("Nearest order differs at %d", i)
+			}
+		}
+	})
+
+	t.Run("iterator early break", func(t *testing.T) {
+		var st QueryStats
+		n := 0
+		for range tree.Iter(Window(world).WithStats(&st)) {
+			n++
+			if n == 3 {
+				break
+			}
+		}
+		if n != 3 {
+			t.Fatalf("broke after %d items", n)
+		}
+		if st.Results < 3 {
+			t.Fatalf("stats sink not filled on early break: %+v", st)
+		}
+	})
+
+	t.Run("nearest limit", func(t *testing.T) {
+		got, err := tree.Collect(Nearest(0.5, 0.5, 9).WithLimit(4))
+		if err != nil || len(got) != 4 {
+			t.Fatalf("nearest with limit: %d results (err %v)", len(got), err)
+		}
+		want := tree.NearestNeighbors(0.5, 0.5, 4)
+		for i := range got {
+			if got[i] != want[i].Item {
+				t.Fatalf("limited nearest differs at %d", i)
+			}
+		}
+	})
+}
+
+// TestConcurrentIterFileBacked runs many Iter consumers against one
+// file-backed tree simultaneously — the race-detector test for the
+// file backend + lock-striped pager + pull-iterator stack. Run under
+// -race in CI (matched by the `-run Concurrent` stress job).
+func TestConcurrentIterFileBacked(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	items := dataset.Western(8000, 31)
+	path := filepath.Join(t.TempDir(), "concurrent.pr")
+	tree, err := Create(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if err := tree.BulkLoad(PR, items); err != nil {
+		t.Fatal(err)
+	}
+	world := geom.ItemsMBR(items)
+	queries := workload.Squares(world, 0.01, 32, 13)
+	want := make([][]Item, len(queries))
+	for i, q := range queries {
+		want[i] = tree.Search(q)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, q := range queries {
+					var got []Item
+					for it := range tree.Iter(Window(q)) {
+						got = append(got, it)
+					}
+					if !reflect.DeepEqual(got, want[i]) {
+						errs <- fmt.Errorf("worker %d rep %d query %d: results differ", w, rep, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
