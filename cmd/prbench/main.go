@@ -1,13 +1,17 @@
 // Command prbench regenerates the paper's evaluation: every figure and
 // table of Section 3 plus the Theorem 3 demonstration, the Lemma 2
-// empirical check and the page-layout sweep, printed as aligned text
+// empirical check, the page-layout sweep and the durability suite (WAL
+// build-path overhead, fault-injected recovery), printed as aligned text
 // tables and optionally emitted as machine-readable JSON.
 //
 // Usage:
 //
 //	prbench [-scale F] [-queries N] [-mem M] [-workers W] [-seed S]
-//	        [-layout raw|compressed] [-json FILE] [-only ids]
+//	        [-layout raw|compressed] [-json FILE] [-only ids] [-faults]
 //
+// -faults is shorthand for -only faults: drive the file backend through
+// every injected failure mode (error, torn write, crash, silent stop) and
+// report what crash recovery restores.
 // -scale multiplies the default dataset sizes (~120k rectangles at 1.0;
 // the paper used 10-16.7M — scale 100 reproduces that on a large machine).
 // -workers sets the bulk-load pipeline's parallelism (default: GOMAXPROCS;
@@ -69,8 +73,16 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	seed := flag.Int64("seed", 2004, "generator seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	faults := flag.Bool("faults", false, "run only the fault-injection recovery sweep (shorthand for -only faults)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+	if *faults {
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "prbench: -faults and -only are mutually exclusive")
+			os.Exit(2)
+		}
+		*only = "faults"
+	}
 
 	layout, err := rtree.ParseLayout(*layoutFlag)
 	if err != nil {
@@ -84,6 +96,7 @@ func main() {
 		"table1", "theorem3", "lemma2", "utilization",
 		"ablation-priority", "ablation-roundb", "ablation-cache",
 		"futurework", "throughput", "layout",
+		"walbuild", "faults",
 	}
 	if *list {
 		for _, id := range ids {
@@ -140,6 +153,8 @@ func main() {
 		"futurework":        experiments.FutureWorkUpdates,
 		"throughput":        experiments.QueryThroughput,
 		"layout":            experiments.LayoutSweep,
+		"walbuild":          experiments.WALBuild,
+		"faults":            experiments.FaultSweep,
 	}
 
 	jsonOnly := *jsonPath == "-"

@@ -63,11 +63,41 @@ func Open(path string, opts *Options) (*Tree, error) {
 	cfg := inner.Config()
 	bopts := o.bulkOptions()
 	bopts.Fanout, bopts.Layout, bopts.Split = cfg.Fanout, cfg.Layout, cfg.Split
-	return &Tree{inner: inner, pager: pager, io: counting, bopts: bopts, path: path}, nil
+	return &Tree{
+		inner: inner, pager: pager, io: counting, bopts: bopts, path: path,
+		recovery: fb.RecoveryInfo(),
+	}, nil
 }
 
 // Path returns the tree's index file path, or "" for non-file backends.
 func (t *Tree) Path() string { return t.path }
+
+// Recovery reports what crash recovery did when this tree was opened:
+// nil for a cleanly closed (or non-file) index, a populated RecoveryInfo
+// when Open found work in the write-ahead log — committed transactions to
+// replay, uncommitted tails to discard, or a torn tail to truncate. The
+// index is fully consistent either way; the report exists for operators
+// and tests that care whether the previous process died.
+func (t *Tree) Recovery() *RecoveryInfo { return t.recovery }
+
+// CheckPages verifies the checksum trailer of every in-use page of a
+// file-backed tree without panicking, returning the first mismatch as an
+// error wrapping ErrChecksum (nil for clean or non-file trees). This is
+// the scrub behind prtool fsck; normal reads verify checksums inline and
+// panic on a mismatch instead.
+func (t *Tree) CheckPages() error {
+	if t.closed {
+		return fmt.Errorf("prtree: CheckPages on closed tree")
+	}
+	fb, ok := storage.AsFile(t.io)
+	if !ok {
+		return nil
+	}
+	if err := fb.Fsck(); err != nil {
+		return fmt.Errorf("prtree: %w", err)
+	}
+	return nil
+}
 
 // Sync persists the tree's current state — pages, allocator and metadata —
 // through the backend (an fsync'd header rewrite for file-backed trees, a

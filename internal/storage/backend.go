@@ -62,7 +62,48 @@ var (
 	_ Backend = (*Disk)(nil)
 	_ Backend = (*FileBackend)(nil)
 	_ Backend = (*Counting)(nil)
+	_ Backend = (*Faulty)(nil)
+
+	_ Transactional = (*FileBackend)(nil)
+	_ Transactional = (*Counting)(nil)
+	_ Transactional = (*Faulty)(nil)
 )
+
+// Transactional is the optional atomicity seam a Backend may implement.
+// Mutation paths (insert, delete, bulk load) bracket their page writes
+// with Begin/Commit so a durable backend can make the whole batch atomic:
+// after Commit returns the mutation survives a crash, and a crash before
+// Commit rolls the store back to the previous committed state on reopen.
+// Rollback discards an open transaction in memory (e.g. on a mid-mutation
+// panic). Backends without durability semantics simply don't implement
+// it; use EnsureTransactional to call the hooks unconditionally.
+type Transactional interface {
+	// Begin opens a transaction. Transactions do not nest.
+	Begin()
+	// Commit atomically and durably applies everything since Begin.
+	Commit() error
+	// Rollback discards everything since Begin. Without an open
+	// transaction it is a no-op.
+	Rollback()
+}
+
+// nopTx is the Transactional no-op for backends without durability.
+type nopTx struct{}
+
+func (nopTx) Begin()        {}
+func (nopTx) Commit() error { return nil }
+func (nopTx) Rollback()     {}
+
+// EnsureTransactional returns b's Transactional implementation, or a
+// no-op one, so mutation paths can bracket writes without type checks.
+// Decorators forward the interface (see Counting), so the check is on b
+// itself, not the unwrapped chain.
+func EnsureTransactional(b Backend) Transactional {
+	if tx, ok := b.(Transactional); ok {
+		return tx
+	}
+	return nopTx{}
+}
 
 // unwrapper is implemented by decorators (e.g. Counting) so helpers can
 // reach the innermost backend.
@@ -76,6 +117,23 @@ func AsDisk(b Backend) (*Disk, bool) {
 	for {
 		if d, ok := b.(*Disk); ok {
 			return d, true
+		}
+		u, ok := b.(unwrapper)
+		if !ok {
+			return nil, false
+		}
+		b = u.Unwrap()
+	}
+}
+
+// AsFile unwraps decorators and returns the underlying FileBackend, or
+// (nil, false) when the chain bottoms out elsewhere. It gives durability
+// tooling (fsck, recovery reporting, WAL stats) access to file-only
+// surface without widening the Backend interface.
+func AsFile(b Backend) (*FileBackend, bool) {
+	for {
+		if fb, ok := b.(*FileBackend); ok {
+			return fb, true
 		}
 		u, ok := b.(unwrapper)
 		if !ok {

@@ -79,6 +79,30 @@ func (c *Counting) SetMeta(meta []byte) { c.inner.SetMeta(meta) }
 // Meta implements Backend.
 func (c *Counting) Meta() []byte { return c.inner.Meta() }
 
+// Begin implements Transactional, forwarding to the wrapped backend when
+// it is transactional and doing nothing otherwise — transaction plumbing
+// is not I/O and is never counted.
+func (c *Counting) Begin() {
+	if tx, ok := c.inner.(Transactional); ok {
+		tx.Begin()
+	}
+}
+
+// Commit implements Transactional (uncounted); see Begin.
+func (c *Counting) Commit() error {
+	if tx, ok := c.inner.(Transactional); ok {
+		return tx.Commit()
+	}
+	return nil
+}
+
+// Rollback implements Transactional (uncounted); see Begin.
+func (c *Counting) Rollback() {
+	if tx, ok := c.inner.(Transactional); ok {
+		tx.Rollback()
+	}
+}
+
 // Sync implements Backend.
 func (c *Counting) Sync() error { return c.inner.Sync() }
 

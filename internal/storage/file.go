@@ -4,49 +4,141 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // FileBackend stores pages in a real O_RDWR page file, so an index larger
 // than RAM can be built once and served across process runs with no
 // Save/Load round-trip through an in-memory copy.
 //
-// File layout (all page reads and writes are page-aligned):
+// File layout (version 2; all page reads and writes are slot-aligned):
 //
-//	block 0                 header: magic[6] version:u16 blockSize:u32
+//	bytes 0..blockSize      header: magic[6] version:u16 blockSize:u32
 //	                                numPages:u32 freeCount:u32 metaLen:u32
 //	                                meta[metaLen]   (superblock blob)
-//	block 1..numPages       pages (page i at offset (1+i)*blockSize)
+//	page slots              page i at offset blockSize + i*slotSize, where
+//	                        slotSize = blockSize + 8: the block image
+//	                        followed by an 8-byte trailer
+//	                        (u32 CRC32C over data[:dataLen], u32 dataLen)
 //	trailer                 freeCount little-endian u32 freelist entries
 //
-// The header and freelist trailer are rewritten by Sync (which also
-// fsyncs); page writes go straight to the file at their aligned offset.
-// A file that was not cleanly Synced/Closed fails Open's size check — the
-// recorded geometry is the consistency boundary.
+// The per-page trailer makes latent sector corruption fail loudly: Read
+// verifies the checksum of every fetched block and panics with an error
+// wrapping ErrChecksum on a mismatch, and Fsck scans every in-use page
+// without panicking. Version-1 files (no trailers) remain readable and
+// writable in their original format.
+//
+// # Durability
+//
+// A FileBackend carries a sidecar write-ahead log at path+".wal" (see
+// wal.go for the record format). Mutations between Begin and Commit are
+// atomic and, after Commit returns, durable:
+//
+//   - writes to pages live in the last committed state are buffered as
+//     full-block images and journaled at commit before being applied;
+//   - writes to fresh or committed-free pages go straight to the page
+//     file (bulk loads pay one extra fsync, not a doubled write volume)
+//     and are fsynced before the commit marker;
+//   - Commit appends the images, the post-state (allocator + metadata)
+//     and a commit marker, fsyncs the log once, then applies the images.
+//
+// Sync checkpoints: it rewrites the header and freelist trailer, fsyncs
+// the page file and truncates the log, making the page file alone the
+// committed state. Open replays any committed log transactions (a crash
+// between Commit and Sync), discards uncommitted or torn tails, and then
+// checkpoints; what it did is reported through RecoveryInfo. A log with
+// committed transactions supersedes the header entirely, so a crash
+// anywhere inside a checkpoint recovers cleanly; and because direct
+// writes can extend the file over the checkpointed freelist trailer, the
+// first transaction after a checkpoint re-journals that state into the
+// log before any page write (one extra fsync per log generation).
+//
+// Writes outside a transaction keep the legacy contract: they reach the
+// file immediately and are made durable and consistent only by Sync.
 //
 // Like Disk, a FileBackend is safe for concurrent use: allocation, the
 // freelist and the metadata blob are mutex-protected, and page reads and
 // writes use pread/pwrite, which are safe from many goroutines. Individual
-// pages keep the single-writer / no-use-after-Free contract.
+// pages keep the single-writer / no-use-after-Free contract; Begin, Commit
+// and Rollback delimit one transaction at a time.
 //
 // Open-time corruption (short header, bad magic or version, mismatched
-// block size, truncated page data, out-of-range freelist entries) is
-// reported as a wrapped, inspectable error — see ErrBadMagic, ErrBadVersion,
-// ErrBlockSizeMismatch and ErrTruncated. Runtime I/O failures on a
-// validated file (e.g. the file shrinking underneath a running process)
-// panic, mirroring the Disk's out-of-range page panics.
+// block size, truncated page data, out-of-range or duplicated freelist
+// entries, an untrustworthy log) is reported as a wrapped, inspectable
+// error — see ErrBadMagic, ErrBadVersion, ErrBlockSizeMismatch,
+// ErrTruncated and ErrWALCorrupt. Runtime I/O failures on a validated
+// file (e.g. the file shrinking underneath a running process, a checksum
+// mismatch on a read) panic, mirroring the Disk's out-of-range page
+// panics; the panic value is an error wrapping ErrChecksum when the cause
+// is a failed page verification.
 type FileBackend struct {
 	f         *os.File
+	wal       *os.File
+	path      string
 	blockSize int
+	version   int
+	slotSize  int // blockSize, +pageTrailerSize from version 2 on
 
-	mu       sync.RWMutex
-	numPages int
-	free     []PageID
-	meta     []byte
-	zero     []byte // shared all-zero block for Alloc
-	closed   bool
+	// Crash-injection instrumentation: persistStep() is called before
+	// every persistence side effect (page pwrite, WAL append, fsync,
+	// header rewrite). See SetCrashAfterSteps.
+	steps      atomic.Int64
+	crashAfter atomic.Int64
+
+	mu         sync.RWMutex
+	numPages   int
+	free       []PageID
+	meta       []byte
+	zero       []byte // shared all-zero block for Alloc
+	closed     bool
+	walSize    int64
+	walSeq     uint64
+	walRecords int64
+	walBytes   int64
+	recovery   *RecoveryInfo
+
+	// ckpt snapshots the state the last completed checkpoint wrote into
+	// the header, and walHasState records whether the current log
+	// generation holds at least one durable committed state record. The
+	// first transaction after a checkpoint re-journals ckpt before any
+	// direct write can extend the file over the on-disk freelist trailer
+	// (see Begin).
+	ckpt        walState
+	walHasState bool
+
+	// txMu guards the open transaction's overlay and flags; it nests
+	// inside mu (writers hold mu.RLock, Begin/Commit/Rollback hold mu).
+	txMu sync.Mutex
+	tx   *fileTx
+}
+
+// fileTx is one open transaction: the pre-transaction state needed for
+// rollback and the redo images of committed-live pages overwritten so far.
+type fileTx struct {
+	prevNumPages  int
+	prevFree      []PageID
+	prevMeta      []byte
+	committedFree map[PageID]struct{}
+
+	overlay     map[PageID][]byte // full-block images, keyed by page
+	freed       []PageID          // pages freed during the transaction
+	directDirty bool              // fresh/committed-free pages were pwritten
+}
+
+// inUseCommitted reports whether id holds live data in the last committed
+// state — the pages whose overwrite must be journaled, because a crash
+// must be able to roll back to that state.
+func (tx *fileTx) inUseCommitted(id PageID) bool {
+	if int(id) >= tx.prevNumPages {
+		return false
+	}
+	_, free := tx.committedFree[id]
+	return !free
 }
 
 // Page-file corruption sentinels, matchable with errors.Is through the
@@ -62,19 +154,38 @@ var (
 	// ErrTruncated reports a page file shorter than its header's recorded
 	// geometry requires.
 	ErrTruncated = errors.New("page file truncated")
+	// ErrChecksum reports a page whose stored CRC32C trailer does not
+	// match its contents — latent corruption caught at read time. It is
+	// returned (wrapped) by Fsck and CheckPage and carried by the panic
+	// Read raises on a poisoned block.
+	ErrChecksum = errors.New("page checksum mismatch")
 )
 
 var fileMagic = [6]byte{'P', 'R', 'P', 'A', 'G', 'E'}
 
 const (
-	fileVersion    = 1
+	fileVersion    = 2                     // written by CreateFile; version 1 stays readable
 	fileHeaderSize = 6 + 2 + 4 + 4 + 4 + 4 // magic version blockSize numPages freeCount metaLen
 	maxBlockSize   = 1 << 24
+
+	// pageTrailerSize is the per-slot checksum trailer of version-2
+	// files: u32 CRC32C over data[:dataLen], u32 dataLen.
+	pageTrailerSize = 8
 )
 
+// slotSizeFor returns the on-disk bytes one page occupies under a format
+// version.
+func slotSizeFor(version, blockSize int) int {
+	if version >= 2 {
+		return blockSize + pageTrailerSize
+	}
+	return blockSize
+}
+
 // CreateFile creates (or truncates) a page file at path with the given
-// block size and returns an empty backend on it. The header is written
-// immediately so even an empty index file is openable after a crash.
+// block size and returns an empty backend on it. The header and an empty
+// write-ahead log (at path+".wal") are written immediately so even an
+// empty index file is openable after a crash.
 func CreateFile(path string, blockSize int) (*FileBackend, error) {
 	if blockSize < fileHeaderSize || blockSize > maxBlockSize {
 		return nil, fmt.Errorf("storage: create %s: block size %d outside [%d, %d]",
@@ -84,25 +195,65 @@ func CreateFile(path string, blockSize int) (*FileBackend, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: create page file: %w", err)
 	}
-	fb := &FileBackend{f: f, blockSize: blockSize, zero: make([]byte, blockSize)}
-	if err := fb.Sync(); err != nil {
+	fb := &FileBackend{
+		f:         f,
+		path:      path,
+		blockSize: blockSize,
+		version:   fileVersion,
+		slotSize:  slotSizeFor(fileVersion, blockSize),
+		zero:      make([]byte, blockSize),
+	}
+	cleanup := func() {
 		f.Close()
 		os.Remove(path)
+		if fb.wal != nil {
+			fb.wal.Close()
+			os.Remove(walPath(path))
+		}
+	}
+	wf, err := os.OpenFile(walPath(path), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("storage: create write-ahead log: %w", err)
+	}
+	fb.wal = wf
+	if _, err := wf.WriteAt(encodeWALHeader(blockSize), 0); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("storage: writing log header: %w", err)
+	}
+	if err := wf.Sync(); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("storage: fsync write-ahead log: %w", err)
+	}
+	fb.walSize = walHeaderSize
+	if err := fb.Sync(); err != nil {
+		cleanup()
 		return nil, err
 	}
 	return fb, nil
 }
 
+// walPath returns the sidecar log path for a page file.
+func walPath(pagePath string) string { return pagePath + ".wal" }
+
 // OpenFile opens an existing page file, validating its header and
-// geometry. expectBlockSize 0 accepts whatever block size the file was
-// created with; a non-zero value must match or Open fails with a wrapped
-// ErrBlockSizeMismatch.
+// geometry and replaying the write-ahead log if the file was not cleanly
+// checkpointed. expectBlockSize 0 accepts whatever block size the file
+// was created with; a non-zero value must match or Open fails with a
+// wrapped ErrBlockSizeMismatch. What recovery found is available from
+// RecoveryInfo afterwards.
+//
+// When the log holds committed transactions, its last state record — not
+// the header — is the committed truth: a crash can interrupt a checkpoint
+// after the header was rewritten but before the freelist trailer and
+// truncate caught up, so the header's geometry is only validated when the
+// log is empty.
 func OpenFile(path string, expectBlockSize int) (*FileBackend, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open page file: %w", err)
 	}
-	fb, err := openValidated(f, expectBlockSize)
+	fb, err := openAndRecover(f, path, expectBlockSize)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
@@ -110,72 +261,257 @@ func OpenFile(path string, expectBlockSize int) (*FileBackend, error) {
 	return fb, nil
 }
 
-func openValidated(f *os.File, expectBlockSize int) (*FileBackend, error) {
-	var hdr [fileHeaderSize]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+// fileHeader is the fixed header's decoded fields, checked for internal
+// consistency but not yet against the file's actual size.
+type fileHeader struct {
+	version   int
+	blockSize int
+	slotSize  int
+	numPages  int
+	freeCount int
+	metaLen   int
+}
+
+// readFileHeader reads and validates everything about the header that
+// does not depend on trusting the rest of the file.
+func readFileHeader(f *os.File, expectBlockSize int) (fileHeader, error) {
+	var hdr fileHeader
+	var raw [fileHeaderSize]byte
+	if _, err := f.ReadAt(raw[:], 0); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, fmt.Errorf("short header read: %w", err)
+		return hdr, fmt.Errorf("short header read: %w", err)
 	}
-	if [6]byte(hdr[0:6]) != fileMagic {
-		return nil, fmt.Errorf("%w: %q", ErrBadMagic, hdr[0:6])
+	if [6]byte(raw[0:6]) != fileMagic {
+		return hdr, fmt.Errorf("%w: %q", ErrBadMagic, raw[0:6])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[6:8]); v != fileVersion {
-		return nil, fmt.Errorf("%w: %d (this build reads version %d)", ErrBadVersion, v, fileVersion)
+	hdr.version = int(binary.LittleEndian.Uint16(raw[6:8]))
+	if hdr.version < 1 || hdr.version > fileVersion {
+		return hdr, fmt.Errorf("%w: %d (this build reads versions 1-%d)", ErrBadVersion, hdr.version, fileVersion)
 	}
-	blockSize := int(binary.LittleEndian.Uint32(hdr[8:12]))
-	if blockSize < fileHeaderSize || blockSize > maxBlockSize {
-		return nil, fmt.Errorf("implausible block size %d", blockSize)
+	hdr.blockSize = int(binary.LittleEndian.Uint32(raw[8:12]))
+	if hdr.blockSize < fileHeaderSize || hdr.blockSize > maxBlockSize {
+		return hdr, fmt.Errorf("implausible block size %d", hdr.blockSize)
 	}
-	if expectBlockSize != 0 && expectBlockSize != blockSize {
-		return nil, fmt.Errorf("%w: file has %d-byte blocks, caller wants %d",
-			ErrBlockSizeMismatch, blockSize, expectBlockSize)
+	if expectBlockSize != 0 && expectBlockSize != hdr.blockSize {
+		return hdr, fmt.Errorf("%w: file has %d-byte blocks, caller wants %d",
+			ErrBlockSizeMismatch, hdr.blockSize, expectBlockSize)
 	}
-	numPages := int(binary.LittleEndian.Uint32(hdr[12:16]))
-	freeCount := int(binary.LittleEndian.Uint32(hdr[16:20]))
-	metaLen := int(binary.LittleEndian.Uint32(hdr[20:24]))
-	if metaLen > blockSize-fileHeaderSize {
-		return nil, fmt.Errorf("metadata blob of %d bytes overflows the %d-byte header block", metaLen, blockSize)
+	hdr.slotSize = slotSizeFor(hdr.version, hdr.blockSize)
+	hdr.numPages = int(binary.LittleEndian.Uint32(raw[12:16]))
+	hdr.freeCount = int(binary.LittleEndian.Uint32(raw[16:20]))
+	hdr.metaLen = int(binary.LittleEndian.Uint32(raw[20:24]))
+	if hdr.metaLen > hdr.blockSize-fileHeaderSize {
+		return hdr, fmt.Errorf("metadata blob of %d bytes overflows the %d-byte header block", hdr.metaLen, hdr.blockSize)
 	}
-	if freeCount > numPages {
-		return nil, fmt.Errorf("freelist of %d entries exceeds %d pages", freeCount, numPages)
+	if hdr.freeCount > hdr.numPages {
+		return hdr, fmt.Errorf("freelist of %d entries exceeds %d pages", hdr.freeCount, hdr.numPages)
 	}
-	st, err := f.Stat()
+	return hdr, nil
+}
+
+// openAndRecover validates the header, decides whether the header or the
+// write-ahead log describes the committed state, loads that state, and
+// checkpoints. It runs before the backend is handed to any caller, so it
+// works on the struct without locks.
+func openAndRecover(f *os.File, path string, expectBlockSize int) (*FileBackend, error) {
+	hdr, err := readFileHeader(f, expectBlockSize)
 	if err != nil {
 		return nil, err
 	}
-	want := int64(1+numPages)*int64(blockSize) + 4*int64(freeCount)
-	if st.Size() < want {
-		return nil, fmt.Errorf("%w: %d bytes on disk, header records %d pages of %d bytes (want %d bytes)",
-			ErrTruncated, st.Size(), numPages, blockSize, want)
+	fb := &FileBackend{
+		f:         f,
+		path:      path,
+		blockSize: hdr.blockSize,
+		version:   hdr.version,
+		slotSize:  hdr.slotSize,
+		zero:      make([]byte, hdr.blockSize),
 	}
-	meta := make([]byte, metaLen)
-	if _, err := f.ReadAt(meta, fileHeaderSize); err != nil {
-		return nil, fmt.Errorf("reading metadata blob: %w", err)
-	}
-	free := make([]PageID, freeCount)
-	if freeCount > 0 {
-		raw := make([]byte, 4*freeCount)
-		if _, err := f.ReadAt(raw, int64(1+numPages)*int64(blockSize)); err != nil {
-			return nil, fmt.Errorf("reading freelist: %w", err)
+	fail := func(err error) (*FileBackend, error) {
+		if fb.wal != nil {
+			fb.wal.Close()
 		}
+		return nil, err
+	}
+	var res walScanResult
+	wf, err := os.OpenFile(walPath(path), os.O_RDWR, 0o644)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// A pre-WAL index: the sidecar is created (empty) after the state
+		// is validated, so a failed open leaves no side effects.
+	case err != nil:
+		return nil, fmt.Errorf("opening write-ahead log: %w", err)
+	default:
+		fb.wal = wf
+		st, err := wf.Stat()
+		if err != nil {
+			return fail(fmt.Errorf("write-ahead log: %w", err))
+		}
+		if st.Size() >= walHeaderSize {
+			data := make([]byte, st.Size())
+			if _, err := io.ReadFull(io.NewSectionReader(wf, 0, st.Size()), data); err != nil {
+				return fail(fmt.Errorf("reading write-ahead log: %w", err))
+			}
+			if err := checkWALHeader(data, fb.blockSize); err != nil {
+				return fail(err)
+			}
+			res, err = scanWAL(data[walHeaderSize:], fb.blockSize)
+			if err != nil {
+				return fail(err)
+			}
+			fb.walSize = st.Size()
+		}
+	}
+	if len(res.txs) > 0 {
+		// The log is authoritative: replay the committed images and adopt
+		// the last committed state, ignoring the header's possibly
+		// mid-checkpoint geometry and trailer.
+		fb.walSeq = res.lastSeq
+		for _, tx := range res.txs {
+			for _, pg := range tx.pages {
+				fb.writePageRaw(pg.id, pg.data)
+				res.info.ReplayedPages++
+			}
+			fb.numPages = tx.state.numPages
+			fb.free = append(fb.free[:0], tx.state.free...)
+			fb.meta = append(fb.meta[:0], tx.state.meta...)
+			res.info.ReplayedTxs++
+		}
+		fb.walHasState = true
+	} else if err := fb.loadCheckpoint(hdr); err != nil {
+		return fail(err)
+	}
+	if fb.wal == nil {
+		wf, err := os.OpenFile(walPath(path), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fail(fmt.Errorf("opening write-ahead log: %w", err))
+		}
+		fb.wal = wf
+	}
+	if fb.walSize < walHeaderSize {
+		// Missing sidecar or a header torn during its creation: no commit
+		// can exist yet, start a fresh log.
+		if err := fb.resetWALFile(); err != nil {
+			return fail(err)
+		}
+	}
+	if res.info.dirty() {
+		info := res.info
+		fb.recovery = &info
+	}
+	// Checkpoint: the recovered state becomes the page file's durable
+	// identity and the log is retired, exactly as a clean Sync would.
+	if err := fb.syncLocked(); err != nil {
+		return fail(err)
+	}
+	return fb, nil
+}
+
+// loadCheckpoint reads the committed state (geometry, freelist, metadata)
+// the header describes, with full validation against the file's size.
+// Only sound when the log holds no committed transactions — after a
+// mid-checkpoint crash the header can be ahead of the trailer, and the
+// log's last state wins instead.
+func (fb *FileBackend) loadCheckpoint(hdr fileHeader) error {
+	st, err := fb.f.Stat()
+	if err != nil {
+		return err
+	}
+	want := int64(hdr.blockSize) + int64(hdr.numPages)*int64(hdr.slotSize) + 4*int64(hdr.freeCount)
+	if st.Size() < want {
+		return fmt.Errorf("%w: %d bytes on disk, header records %d pages of %d bytes (want %d bytes)",
+			ErrTruncated, st.Size(), hdr.numPages, hdr.slotSize, want)
+	}
+	meta := make([]byte, hdr.metaLen)
+	if _, err := fb.f.ReadAt(meta, fileHeaderSize); err != nil {
+		return fmt.Errorf("reading metadata blob: %w", err)
+	}
+	free := make([]PageID, hdr.freeCount)
+	if hdr.freeCount > 0 {
+		raw := make([]byte, 4*hdr.freeCount)
+		if _, err := fb.f.ReadAt(raw, int64(hdr.blockSize)+int64(hdr.numPages)*int64(hdr.slotSize)); err != nil {
+			return fmt.Errorf("reading freelist: %w", err)
+		}
+		seen := make(map[PageID]struct{}, hdr.freeCount)
 		for i := range free {
 			v := binary.LittleEndian.Uint32(raw[4*i:])
-			if int(v) >= numPages {
-				return nil, fmt.Errorf("freelist entry %d out of range (%d pages)", v, numPages)
+			if int(v) >= hdr.numPages {
+				return fmt.Errorf("freelist entry %d out of range (%d pages)", v, hdr.numPages)
 			}
+			if _, dup := seen[PageID(v)]; dup {
+				// A duplicated entry would hand the same live block out
+				// of Alloc twice; refuse rather than corrupt silently.
+				return fmt.Errorf("freelist entry %d duplicated", v)
+			}
+			seen[PageID(v)] = struct{}{}
 			free[i] = PageID(v)
 		}
 	}
-	return &FileBackend{
-		f:         f,
-		blockSize: blockSize,
-		numPages:  numPages,
-		free:      free,
-		meta:      meta,
-		zero:      make([]byte, blockSize),
-	}, nil
+	fb.numPages = hdr.numPages
+	fb.free = free
+	fb.meta = meta
+	return nil
+}
+
+// resetWALFile truncates the log to a fresh header.
+func (fb *FileBackend) resetWALFile() error {
+	if err := fb.wal.Truncate(0); err != nil {
+		return fmt.Errorf("truncating write-ahead log: %w", err)
+	}
+	if _, err := fb.wal.WriteAt(encodeWALHeader(fb.blockSize), 0); err != nil {
+		return fmt.Errorf("writing log header: %w", err)
+	}
+	if err := fb.wal.Sync(); err != nil {
+		return fmt.Errorf("fsync write-ahead log: %w", err)
+	}
+	fb.walSize = walHeaderSize
+	return nil
+}
+
+// RecoveryInfo reports what crash recovery did when this backend was
+// opened, or nil when the file was clean. The report is stable for the
+// backend's lifetime.
+func (fb *FileBackend) RecoveryInfo() *RecoveryInfo { return fb.recovery }
+
+// WALStats describes the write-ahead log's cumulative activity.
+type WALStats struct {
+	// Records and Bytes count log appends since the backend was opened.
+	Records int64
+	Bytes   int64
+	// Size is the log file's current size (header included); Sync
+	// truncates it back to the 16-byte header.
+	Size int64
+}
+
+// WALStats returns the log counters — the direct measure of WAL overhead
+// on a write path.
+func (fb *FileBackend) WALStats() WALStats {
+	fb.mu.RLock()
+	defer fb.mu.RUnlock()
+	return WALStats{Records: fb.walRecords, Bytes: fb.walBytes, Size: fb.walSize}
+}
+
+// SetCrashAfterSteps arranges for the backend to panic with an error
+// wrapping ErrInjectedFault immediately BEFORE its n-th persistence side
+// effect (page pwrite, log append, fsync, header rewrite), counted from
+// the backend's creation, and on every attempted side effect thereafter —
+// modeling a process killed at that exact point whose file descriptors go
+// away. n <= 0 disables injection. Together with PersistSteps it lets a
+// test kill a workload at every boundary deterministically.
+func (fb *FileBackend) SetCrashAfterSteps(n int64) { fb.crashAfter.Store(n) }
+
+// PersistSteps returns the number of persistence side effects performed
+// (or refused) so far.
+func (fb *FileBackend) PersistSteps() int64 { return fb.steps.Load() }
+
+// persistStep counts one persistence side effect and panics if a crash
+// point is armed and reached. Once tripped, every later step panics too.
+func (fb *FileBackend) persistStep() {
+	n := fb.steps.Add(1)
+	if c := fb.crashAfter.Load(); c > 0 && n >= c {
+		panic(fmt.Errorf("%w: killed at persistence step %d", ErrInjectedFault, n))
+	}
 }
 
 // BlockSize implements Backend.
@@ -192,12 +528,16 @@ func (fb *FileBackend) NumPages() int {
 func (fb *FileBackend) PagesInUse() int {
 	fb.mu.RLock()
 	defer fb.mu.RUnlock()
-	return fb.numPages - len(fb.free)
+	n := fb.numPages - len(fb.free)
+	if fb.tx != nil {
+		n -= len(fb.tx.freed)
+	}
+	return n
 }
 
-// offset returns the file offset of page id.
+// offset returns the file offset of page id's slot.
 func (fb *FileBackend) offset(id PageID) int64 {
-	return int64(1+int(id)) * int64(fb.blockSize)
+	return int64(fb.blockSize) + int64(id)*int64(fb.slotSize)
 }
 
 func (fb *FileBackend) checkIDLocked(id PageID) {
@@ -208,18 +548,23 @@ func (fb *FileBackend) checkIDLocked(id PageID) {
 
 // Alloc implements Backend. Recycled pages are zeroed in place (their old
 // bytes are stale data); fresh pages extend the file lazily — reads past
-// EOF already yield zeros, the first Write extends the file, and Sync's
-// truncate materializes any unwritten tail — so bulk loads issue one
-// pwrite per page, not two.
+// EOF already yield zeros, the first Write extends the file, and the next
+// checkpoint's truncate materializes any unwritten tail — so bulk loads
+// issue one pwrite per page, not two. During a transaction only pages
+// free in the last committed state are recycled; pages freed within the
+// transaction become allocatable after Commit.
 func (fb *FileBackend) Alloc() PageID {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	if n := len(fb.free); n > 0 {
 		id := fb.free[n-1]
 		fb.free = fb.free[:n-1]
-		if _, err := fb.f.WriteAt(fb.zero, fb.offset(id)); err != nil {
-			panic(fmt.Sprintf("storage: zeroing page %d: %v", id, err))
+		if fb.tx != nil {
+			// The zero fill must be durable by commit time even though
+			// the page is never explicitly written.
+			fb.tx.directDirty = true
 		}
+		fb.writePage(id, fb.zero)
 		return id
 	}
 	id := PageID(fb.numPages)
@@ -232,22 +577,134 @@ func (fb *FileBackend) Free(id PageID) {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	fb.checkIDLocked(id)
+	if tx := fb.tx; tx != nil {
+		// Freed pages join the allocator only at Commit; their redo
+		// image, if any, is dropped (the content no longer matters).
+		delete(tx.overlay, id)
+		tx.freed = append(tx.freed, id)
+		return
+	}
 	fb.free = append(fb.free, id)
 }
 
-// Read implements Backend.
+// Read implements Backend. Inside a transaction, pages with a buffered
+// redo image read back their transactional content. On version-2 files
+// the block's CRC32C trailer is verified; a mismatch panics with an error
+// wrapping ErrChecksum (use CheckPage or Fsck for a non-panicking scan).
 func (fb *FileBackend) Read(id PageID, buf []byte) int {
 	if len(buf) > fb.blockSize {
 		buf = buf[:fb.blockSize]
 	}
 	fb.mu.RLock()
+	defer fb.mu.RUnlock()
 	fb.checkIDLocked(id)
-	fb.mu.RUnlock()
+	if tx := fb.tx; tx != nil {
+		fb.txMu.Lock()
+		img, ok := tx.overlay[id]
+		if ok {
+			n := copy(buf, img)
+			fb.txMu.Unlock()
+			return n
+		}
+		fb.txMu.Unlock()
+	}
+	return fb.readVerified(id, buf)
+}
+
+// readVerified preads page id into buf and verifies its trailer (v2).
+// The caller holds at least a read lock.
+func (fb *FileBackend) readVerified(id PageID, buf []byte) int {
 	n, err := fb.f.ReadAt(buf, fb.offset(id))
 	if err != nil && err != io.EOF {
 		panic(fmt.Sprintf("storage: reading page %d: %v", id, err))
 	}
+	if fb.version >= 2 {
+		if err := fb.verifyTrailer(id, buf); err != nil {
+			panic(err)
+		}
+	}
 	return n
+}
+
+// verifyTrailer checks buf (the head of page id, len(buf) <= blockSize)
+// against the slot's checksum trailer. A missing trailer (EOF inside the
+// slot) means a lazily extended, never-written page, which is valid and
+// reads as zeros. The caller holds at least a read lock.
+func (fb *FileBackend) verifyTrailer(id PageID, buf []byte) error {
+	var tr [pageTrailerSize]byte
+	tn, err := fb.f.ReadAt(tr[:], fb.offset(id)+int64(fb.blockSize))
+	if err != nil && err != io.EOF {
+		panic(fmt.Sprintf("storage: reading page %d trailer: %v", id, err))
+	}
+	if tn < pageTrailerSize {
+		return nil // page beyond EOF: unwritten, zeros by construction
+	}
+	want := binary.LittleEndian.Uint32(tr[0:4])
+	dataLen := int(binary.LittleEndian.Uint32(tr[4:8]))
+	if dataLen > fb.blockSize {
+		return fmt.Errorf("storage: page %d: %w: trailer claims %d bytes in a %d-byte block",
+			id, ErrChecksum, dataLen, fb.blockSize)
+	}
+	data := buf
+	if dataLen > len(buf) {
+		// The caller asked for a prefix shorter than the checksummed
+		// content; fetch the full extent to verify.
+		data = make([]byte, dataLen)
+		if _, err := fb.f.ReadAt(data, fb.offset(id)); err != nil && err != io.EOF {
+			panic(fmt.Sprintf("storage: reading page %d: %v", id, err))
+		}
+	}
+	if got := crc32.Checksum(data[:dataLen], castagnoli); got != want {
+		return fmt.Errorf("storage: page %d: %w: stored %08x, computed %08x over %d bytes",
+			id, ErrChecksum, want, got, dataLen)
+	}
+	return nil
+}
+
+// CheckPage verifies page id's checksum trailer without panicking,
+// returning an error wrapping ErrChecksum on a mismatch. Version-1 pages
+// (no trailers) always pass.
+func (fb *FileBackend) CheckPage(id PageID) error {
+	fb.mu.RLock()
+	defer fb.mu.RUnlock()
+	if int(id) >= fb.numPages {
+		return fmt.Errorf("storage: page %d out of range (have %d pages)", id, fb.numPages)
+	}
+	if fb.version < 2 {
+		return nil
+	}
+	buf := make([]byte, fb.blockSize)
+	if _, err := fb.f.ReadAt(buf, fb.offset(id)); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: reading page %d: %w", id, err)
+	}
+	return fb.verifyTrailer(id, buf)
+}
+
+// Fsck verifies the checksum trailer of every in-use page (freelist pages
+// hold no live data and are skipped), returning the first failure as a
+// wrapped, inspectable error. It never panics on corrupt content.
+func (fb *FileBackend) Fsck() error {
+	fb.mu.RLock()
+	freeSet := make(map[PageID]struct{}, len(fb.free))
+	for _, id := range fb.free {
+		freeSet[id] = struct{}{}
+	}
+	if tx := fb.tx; tx != nil {
+		for _, id := range tx.freed {
+			freeSet[id] = struct{}{}
+		}
+	}
+	numPages := fb.numPages
+	fb.mu.RUnlock()
+	for id := PageID(0); int(id) < numPages; id++ {
+		if _, free := freeSet[id]; free {
+			continue
+		}
+		if err := fb.CheckPage(id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadNoCopy implements Backend. The file cannot hand out a stable view of
@@ -259,25 +716,90 @@ func (fb *FileBackend) ReadNoCopy(id PageID) []byte {
 	return buf
 }
 
-// PeekNoCopy implements Backend.
-func (fb *FileBackend) PeekNoCopy(id PageID) []byte { return fb.ReadNoCopy(id) }
+// PeekNoCopy implements Backend. Peeks are deliberately unverified: they
+// serve open-time sanity checks that must report structural errors rather
+// than panic; checksum verification belongs to Read, CheckPage and Fsck.
+func (fb *FileBackend) PeekNoCopy(id PageID) []byte {
+	buf := make([]byte, fb.blockSize)
+	fb.mu.RLock()
+	defer fb.mu.RUnlock()
+	fb.checkIDLocked(id)
+	if tx := fb.tx; tx != nil {
+		fb.txMu.Lock()
+		img, ok := tx.overlay[id]
+		if ok {
+			copy(buf, img)
+			fb.txMu.Unlock()
+			return buf
+		}
+		fb.txMu.Unlock()
+	}
+	if _, err := fb.f.ReadAt(buf, fb.offset(id)); err != nil && err != io.EOF {
+		panic(fmt.Sprintf("storage: reading page %d: %v", id, err))
+	}
+	return buf
+}
 
-// Write implements Backend: a page-aligned pwrite of data at the page's
-// offset. Shorter-than-block data leaves the page tail untouched.
+// Write implements Backend: a slot-aligned pwrite of data plus, on
+// version-2 files, its checksum trailer. Shorter-than-block data leaves
+// the page tail untouched. Inside a transaction, a write to a page live
+// in the last committed state is buffered as a redo image instead and
+// reaches the file at Commit.
 func (fb *FileBackend) Write(id PageID, data []byte) {
 	if len(data) > fb.blockSize {
 		panic(fmt.Sprintf("storage: write of %d bytes exceeds block size %d", len(data), fb.blockSize))
 	}
 	fb.mu.RLock()
+	defer fb.mu.RUnlock()
 	fb.checkIDLocked(id)
-	fb.mu.RUnlock()
+	if tx := fb.tx; tx != nil {
+		if tx.inUseCommitted(id) {
+			fb.txMu.Lock()
+			defer fb.txMu.Unlock()
+			img, ok := tx.overlay[id]
+			if !ok {
+				// Seed the image with the committed content so partial
+				// writes keep the old tail, matching direct-write
+				// semantics exactly.
+				img = make([]byte, fb.blockSize)
+				fb.readVerified(id, img)
+				tx.overlay[id] = img
+			}
+			copy(img, data)
+			return
+		}
+		fb.txMu.Lock()
+		tx.directDirty = true
+		fb.txMu.Unlock()
+	}
+	fb.writePage(id, data)
+}
+
+// writePage pwrites data and its trailer into page id's slot. The caller
+// holds at least a read lock (geometry is stable).
+func (fb *FileBackend) writePage(id PageID, data []byte) {
+	fb.persistStep()
+	fb.writePageRaw(id, data)
+}
+
+// writePageRaw is writePage without crash-point accounting, used by WAL
+// replay before the backend is live.
+func (fb *FileBackend) writePageRaw(id PageID, data []byte) {
 	if _, err := fb.f.WriteAt(data, fb.offset(id)); err != nil {
 		panic(fmt.Sprintf("storage: writing page %d: %v", id, err))
 	}
+	if fb.version >= 2 {
+		var tr [pageTrailerSize]byte
+		binary.LittleEndian.PutUint32(tr[0:4], crc32.Checksum(data, castagnoli))
+		binary.LittleEndian.PutUint32(tr[4:8], uint32(len(data)))
+		if _, err := fb.f.WriteAt(tr[:], fb.offset(id)+int64(fb.blockSize)); err != nil {
+			panic(fmt.Sprintf("storage: writing page %d trailer: %v", id, err))
+		}
+	}
 }
 
-// SetMeta implements Backend. The blob is persisted by the next Sync and
-// must fit the header block alongside the fixed header.
+// SetMeta implements Backend. The blob is persisted by the next Commit or
+// Sync and must fit the header block alongside the fixed header.
 func (fb *FileBackend) SetMeta(meta []byte) {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
@@ -296,8 +818,162 @@ func (fb *FileBackend) Meta() []byte {
 	return out
 }
 
-// Sync implements Backend: it rewrites the header block and the freelist
-// trailer, truncates the file to its exact recorded size and fsyncs.
+// Begin implements Transactional: it opens a transaction, snapshotting
+// the committed allocator state for Rollback. Transactions do not nest.
+func (fb *FileBackend) Begin() {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		panic("storage: begin on closed page file")
+	}
+	if fb.tx != nil {
+		panic("storage: nested transaction on page file")
+	}
+	tx := &fileTx{
+		prevNumPages:  fb.numPages,
+		prevFree:      append([]PageID(nil), fb.free...),
+		prevMeta:      append([]byte(nil), fb.meta...),
+		committedFree: make(map[PageID]struct{}, len(fb.free)),
+		overlay:       make(map[PageID][]byte),
+	}
+	for _, id := range fb.free {
+		tx.committedFree[id] = struct{}{}
+	}
+	fb.tx = tx
+	// The first transaction of a log generation re-journals the
+	// checkpointed state before any page write: direct writes to fresh
+	// pages extend the file over the on-disk freelist trailer, and a crash
+	// mid-transaction must still find the committed freelist somewhere —
+	// in the log, which Open prefers over the header once it holds a
+	// committed state.
+	if !fb.walHasState && len(fb.ckpt.free) > 0 {
+		fb.journalCheckpointState()
+	}
+}
+
+// journalCheckpointState appends the last checkpoint's state as a
+// committed (empty) transaction and fsyncs it. I/O failures panic: the
+// caller is Begin, which has no error path, and a log that cannot be
+// appended to cannot honor any later Commit either.
+func (fb *FileBackend) journalCheckpointState() {
+	recs := [][]byte{
+		encodeWALState(fb.ckpt.numPages, fb.ckpt.free, fb.ckpt.meta),
+		encodeWALCommit(fb.walSeq + 1),
+	}
+	start := fb.walSize
+	for _, rec := range recs {
+		fb.persistStep()
+		if _, err := fb.wal.WriteAt(rec, fb.walSize); err != nil {
+			fb.walSize = start
+			panic(fmt.Sprintf("storage: journaling checkpoint state: %v", err))
+		}
+		fb.walSize += int64(len(rec))
+		fb.walRecords++
+		fb.walBytes += int64(len(rec))
+	}
+	fb.persistStep()
+	if err := fb.wal.Sync(); err != nil {
+		fb.walSize = start
+		panic(fmt.Sprintf("storage: fsync write-ahead log: %v", err))
+	}
+	fb.walSeq++
+	fb.walHasState = true
+}
+
+// Commit implements Transactional. It makes the transaction durable and
+// atomic: direct writes to fresh pages are fsynced first, then the redo
+// images, the post-state and a commit marker are appended to the log and
+// fsynced (one fsync — the commit point), and finally the images are
+// applied to the page file (the log replays them if a crash interrupts).
+func (fb *FileBackend) Commit() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	tx := fb.tx
+	if tx == nil {
+		return fmt.Errorf("storage: commit without begin")
+	}
+	if fb.closed {
+		return fmt.Errorf("storage: commit on closed page file")
+	}
+	if len(fb.meta) > fb.blockSize-fileHeaderSize {
+		return fmt.Errorf("storage: metadata blob of %d bytes overflows the %d-byte header block",
+			len(fb.meta), fb.blockSize)
+	}
+	if tx.directDirty {
+		fb.persistStep()
+		if err := fb.f.Sync(); err != nil {
+			return fmt.Errorf("storage: fsync page file before commit: %w", err)
+		}
+	}
+	ids := make([]PageID, 0, len(tx.overlay))
+	for id := range tx.overlay {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	newFree := make([]PageID, 0, len(fb.free)+len(tx.freed))
+	newFree = append(newFree, fb.free...)
+	newFree = append(newFree, tx.freed...)
+	seq := fb.walSeq + 1
+	recs := make([][]byte, 0, len(ids)+2)
+	for _, id := range ids {
+		recs = append(recs, encodeWALPage(id, tx.overlay[id]))
+	}
+	recs = append(recs, encodeWALState(fb.numPages, newFree, fb.meta))
+	recs = append(recs, encodeWALCommit(seq))
+	// On an append or fsync error the log offset rewinds so the dangling
+	// (uncommitted) records are overwritten by the next commit; the
+	// transaction stays open for the caller to Rollback.
+	startSize := fb.walSize
+	for _, rec := range recs {
+		fb.persistStep()
+		if _, err := fb.wal.WriteAt(rec, fb.walSize); err != nil {
+			fb.walSize = startSize
+			return fmt.Errorf("storage: appending to write-ahead log: %w", err)
+		}
+		fb.walSize += int64(len(rec))
+		fb.walRecords++
+		fb.walBytes += int64(len(rec))
+	}
+	fb.persistStep()
+	if err := fb.wal.Sync(); err != nil {
+		fb.walSize = startSize
+		return fmt.Errorf("storage: fsync write-ahead log: %w", err)
+	}
+	fb.walHasState = true
+	// Committed. Apply the redo images in place; on a crash from here on
+	// the log replays them.
+	for _, id := range ids {
+		fb.writePage(id, tx.overlay[id])
+	}
+	fb.free = newFree
+	fb.walSeq = seq
+	fb.tx = nil
+	return nil
+}
+
+// Rollback implements Transactional: it discards the open transaction,
+// restoring the committed allocator state and metadata. Pages freshly
+// written during the transaction are left as garbage beyond the committed
+// geometry; the next checkpoint's truncate reclaims them. A Rollback with
+// no open transaction is a no-op.
+func (fb *FileBackend) Rollback() {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	tx := fb.tx
+	if tx == nil {
+		return
+	}
+	fb.numPages = tx.prevNumPages
+	fb.free = tx.prevFree
+	fb.meta = tx.prevMeta
+	fb.tx = nil
+}
+
+// Sync implements Backend: a checkpoint. It rewrites the header block and
+// the freelist trailer, truncates the file to its exact recorded size,
+// fsyncs, and retires the write-ahead log — after Sync the page file
+// alone describes the committed state. Syncing inside an open transaction
+// is an error; Commit first.
 func (fb *FileBackend) Sync() error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
@@ -308,45 +984,69 @@ func (fb *FileBackend) syncLocked() error {
 	if fb.closed {
 		return fmt.Errorf("storage: sync on closed page file")
 	}
+	if fb.tx != nil {
+		return fmt.Errorf("storage: sync inside an open transaction")
+	}
 	if len(fb.meta) > fb.blockSize-fileHeaderSize {
 		return fmt.Errorf("storage: metadata blob of %d bytes overflows the %d-byte header block",
 			len(fb.meta), fb.blockSize)
 	}
 	hdr := make([]byte, fileHeaderSize+len(fb.meta))
 	copy(hdr[0:6], fileMagic[:])
-	binary.LittleEndian.PutUint16(hdr[6:8], fileVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(fb.version))
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(fb.blockSize))
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(fb.numPages))
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(fb.free)))
 	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(fb.meta)))
 	copy(hdr[fileHeaderSize:], fb.meta)
+	fb.persistStep()
 	if _, err := fb.f.WriteAt(hdr, 0); err != nil {
 		return fmt.Errorf("storage: writing page-file header: %w", err)
 	}
-	end := int64(1+fb.numPages) * int64(fb.blockSize)
+	end := int64(fb.blockSize) + int64(fb.numPages)*int64(fb.slotSize)
 	if len(fb.free) > 0 {
 		trailer := make([]byte, 4*len(fb.free))
 		for i, id := range fb.free {
 			binary.LittleEndian.PutUint32(trailer[4*i:], uint32(id))
 		}
+		fb.persistStep()
 		if _, err := fb.f.WriteAt(trailer, end); err != nil {
 			return fmt.Errorf("storage: writing freelist trailer: %w", err)
 		}
-		end += int64(len(trailer))
+		end += int64(4 * len(fb.free))
 	}
 	if err := fb.f.Truncate(end); err != nil {
 		return fmt.Errorf("storage: truncating page file: %w", err)
 	}
+	fb.persistStep()
 	if err := fb.f.Sync(); err != nil {
 		return fmt.Errorf("storage: fsync page file: %w", err)
 	}
+	if fb.wal != nil && fb.walSize > walHeaderSize {
+		fb.persistStep()
+		if err := fb.wal.Truncate(walHeaderSize); err != nil {
+			return fmt.Errorf("storage: truncating write-ahead log: %w", err)
+		}
+		if err := fb.wal.Sync(); err != nil {
+			return fmt.Errorf("storage: fsync write-ahead log: %w", err)
+		}
+		fb.walSize = walHeaderSize
+	}
+	// The checkpoint is complete: snapshot what the header now records for
+	// the next transaction's state guard, and start a fresh log generation.
+	fb.ckpt = walState{
+		numPages: fb.numPages,
+		free:     append([]PageID(nil), fb.free...),
+		meta:     append([]byte(nil), fb.meta...),
+	}
+	fb.walHasState = false
 	return nil
 }
 
-// Abandon closes the file WITHOUT syncing, leaving the on-disk bytes
+// Abandon closes the files WITHOUT syncing, leaving the on-disk bytes
 // exactly as they were. It exists for error paths (e.g. a failed Open
-// whose caller must not mutate a file it could not validate); normal
-// shutdown uses Close.
+// whose caller must not mutate a file it could not validate) and for
+// crash tests that must model a process dying; normal shutdown uses Close.
 func (fb *FileBackend) Abandon() {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
@@ -355,10 +1055,13 @@ func (fb *FileBackend) Abandon() {
 	}
 	fb.closed = true
 	fb.f.Close()
+	if fb.wal != nil {
+		fb.wal.Close()
+	}
 }
 
-// Close implements Backend: it syncs and closes the file. Closing an
-// already closed backend is a no-op.
+// Close implements Backend: it checkpoints (Sync) and closes the file.
+// Closing an already closed backend is a no-op.
 func (fb *FileBackend) Close() error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
@@ -368,11 +1071,21 @@ func (fb *FileBackend) Close() error {
 	if err := fb.syncLocked(); err != nil {
 		fb.closed = true
 		fb.f.Close()
+		if fb.wal != nil {
+			fb.wal.Close()
+		}
 		return err
 	}
 	fb.closed = true
+	var werr error
+	if fb.wal != nil {
+		werr = fb.wal.Close()
+	}
 	if err := fb.f.Close(); err != nil {
 		return fmt.Errorf("storage: closing page file: %w", err)
+	}
+	if werr != nil {
+		return fmt.Errorf("storage: closing write-ahead log: %w", werr)
 	}
 	return nil
 }

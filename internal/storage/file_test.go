@@ -190,6 +190,15 @@ func TestFileBackendCorruption(t *testing.T) {
 			},
 		},
 		{
+			name: "freelist entry duplicated",
+			mutate: func(b []byte) []byte {
+				// Grow the freelist to two entries, both naming the same
+				// page — Alloc would hand the page out twice.
+				binary.LittleEndian.PutUint32(b[16:20], 2)
+				return append(b, b[len(b)-4:]...)
+			},
+		},
+		{
 			name: "meta overflows header block",
 			mutate: func(b []byte) []byte {
 				binary.LittleEndian.PutUint32(b[20:24], 4096)
@@ -245,8 +254,8 @@ func TestFileBackendAllocUnwrittenPage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := int64(4 * 256); st.Size() != want {
-		t.Fatalf("file size %d after close, want %d (header + 3 pages)", st.Size(), want)
+	if want := int64(256 + 3*(256+pageTrailerSize)); st.Size() != want {
+		t.Fatalf("file size %d after close, want %d (header + 3 checksummed slots)", st.Size(), want)
 	}
 	re, err := OpenFile(path, 0)
 	if err != nil {
@@ -278,12 +287,13 @@ func TestFileBackendAbandonLeavesBytes(t *testing.T) {
 	}
 	// The direct page write hits the file (pwrite), but Abandon must not
 	// rewrite the header/meta, the freelist trailer or the recorded
-	// geometry — so everything outside page 0 is byte-identical.
+	// geometry — so everything outside page 0's slot is byte-identical.
+	slot := 256 + pageTrailerSize
 	if !bytes.Equal(after[:256], before[:256]) {
 		t.Error("Abandon rewrote the header block")
 	}
-	if !bytes.Equal(after[2*256:], before[2*256:]) {
-		t.Error("Abandon changed bytes beyond the written page")
+	if !bytes.Equal(after[256+slot:], before[256+slot:]) {
+		t.Error("Abandon changed bytes beyond the written page's slot")
 	}
 	if _, err := OpenFile(path, 0); err != nil {
 		t.Fatalf("file no longer opens after Abandon: %v", err)

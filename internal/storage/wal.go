@@ -1,0 +1,346 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Write-ahead log: the sidecar `.wal` file that makes FileBackend
+// mutations atomic and durable. Every transaction appends, in order,
+//
+//   - one PAGE record per committed-live page the transaction overwrote
+//     (a full block image — the redo copy applied on replay),
+//   - one STATE record carrying the post-transaction allocator state
+//     (page count, freelist) and superblock metadata blob,
+//   - one COMMIT record with a monotonically increasing sequence number,
+//
+// followed by a single fsync. A transaction is committed iff its COMMIT
+// record is fully on disk; recovery replays committed transactions in
+// order and discards everything after the last commit marker.
+//
+// Wire format. The file starts with a 16-byte header (magic, version,
+// block size) and then holds length-prefixed records:
+//
+//	u32 payloadLen | u8 type | payload | u32 crc32c
+//
+// The CRC (Castagnoli) covers the length, type and payload bytes, so a
+// torn append — a partial record at the tail, or a record whose bytes
+// never fully reached the platter — fails validation and is truncated
+// away on replay. A record that validates but decodes to nonsense (an
+// unknown type, a freelist with duplicates, a page image beyond the
+// recorded geometry) is not a torn tail: it is reported as a wrapped
+// ErrWALCorrupt and Open fails rather than guessing.
+//
+// Payloads (all integers little-endian):
+//
+//	PAGE   u32 pageID | u32 dataLen | data
+//	STATE  u32 numPages | u32 metaLen | meta | u32 freeCount | u32 free...
+//	COMMIT u64 seq
+//
+// Checkpointing (FileBackend.Sync) rewrites the page-file header, fsyncs
+// the page file and truncates the log back to its 16-byte header: at that
+// point the page file alone describes the committed state.
+
+// castagnoli is the CRC32C table shared by WAL records and page trailers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALCorrupt reports a write-ahead log whose committed region cannot
+// be trusted: a semantically invalid record with a valid checksum, a
+// foreign or mismatched log header. (A torn tail is NOT corruption — it
+// is the expected crash artifact and is silently truncated on replay.)
+var ErrWALCorrupt = errors.New("write-ahead log corrupt")
+
+var walMagic = [6]byte{'P', 'R', 'W', 'A', 'L', 0}
+
+const (
+	walVersion    = 1
+	walHeaderSize = 16 // magic[6] version:u16 blockSize:u32 reserved:u32
+
+	walRecPage   byte = 1
+	walRecState  byte = 2
+	walRecCommit byte = 3
+
+	// walRecOverhead is the framing around a payload: length, type, CRC.
+	walRecOverhead = 4 + 1 + 4
+
+	// maxWALPayload bounds a single record's declared payload so hostile
+	// lengths cannot overflow offset arithmetic; real payloads are at
+	// most a block image or a freelist (4 bytes/page).
+	maxWALPayload = 1 << 30
+)
+
+// encodeWALHeader returns the 16-byte log header for a page file with the
+// given block size.
+func encodeWALHeader(blockSize int) []byte {
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic[:])
+	binary.LittleEndian.PutUint16(hdr[6:8], walVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(blockSize))
+	return hdr
+}
+
+// checkWALHeader validates a log header against the page file it rides
+// with. A nil error means the records after it may be scanned.
+func checkWALHeader(hdr []byte, blockSize int) error {
+	if [6]byte(hdr[0:6]) != walMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrWALCorrupt, hdr[0:6])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[6:8]); v != walVersion {
+		return fmt.Errorf("%w: version %d (this build reads version %d)", ErrWALCorrupt, v, walVersion)
+	}
+	if bs := binary.LittleEndian.Uint32(hdr[8:12]); int(bs) != blockSize {
+		return fmt.Errorf("%w: log written for %d-byte blocks, page file has %d", ErrWALCorrupt, bs, blockSize)
+	}
+	return nil
+}
+
+// appendWALRecord frames payload as one record (length, type, payload,
+// CRC32C) and appends it to dst.
+func appendWALRecord(dst []byte, typ byte, payload []byte) []byte {
+	start := len(dst)
+	var lenbuf [4]byte
+	binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(payload)))
+	dst = append(dst, lenbuf[:]...)
+	dst = append(dst, typ)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	binary.LittleEndian.PutUint32(lenbuf[:], crc)
+	return append(dst, lenbuf[:]...)
+}
+
+// encodeWALPage frames one page-image record.
+func encodeWALPage(id PageID, data []byte) []byte {
+	payload := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(id))
+	binary.LittleEndian.PutUint32(payload[4:8], uint32(len(data)))
+	copy(payload[8:], data)
+	return appendWALRecord(nil, walRecPage, payload)
+}
+
+// encodeWALState frames the post-transaction allocator/metadata record.
+func encodeWALState(numPages int, free []PageID, meta []byte) []byte {
+	payload := make([]byte, 0, 12+len(meta)+4*len(free))
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], uint32(numPages))
+	payload = append(payload, w[:]...)
+	binary.LittleEndian.PutUint32(w[:], uint32(len(meta)))
+	payload = append(payload, w[:]...)
+	payload = append(payload, meta...)
+	binary.LittleEndian.PutUint32(w[:], uint32(len(free)))
+	payload = append(payload, w[:]...)
+	for _, id := range free {
+		binary.LittleEndian.PutUint32(w[:], uint32(id))
+		payload = append(payload, w[:]...)
+	}
+	return appendWALRecord(nil, walRecState, payload)
+}
+
+// encodeWALCommit frames a commit marker.
+func encodeWALCommit(seq uint64) []byte {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], seq)
+	return appendWALRecord(nil, walRecCommit, payload[:])
+}
+
+// walPageImage is one decoded PAGE record.
+type walPageImage struct {
+	id   PageID
+	data []byte // aliases the scanned buffer; at most blockSize bytes
+}
+
+// walState is one decoded STATE record.
+type walState struct {
+	numPages int
+	free     []PageID
+	meta     []byte
+}
+
+// walTx is one committed transaction recovered from the log.
+type walTx struct {
+	seq   uint64
+	pages []walPageImage
+	state walState
+}
+
+// RecoveryInfo reports what crash recovery found and did when a page
+// file was opened with a non-empty write-ahead log. A nil *RecoveryInfo
+// means the file was clean (no log records to consider).
+type RecoveryInfo struct {
+	// ReplayedTxs is the number of committed transactions whose effects
+	// were replayed into the page file.
+	ReplayedTxs int
+	// ReplayedPages is the number of page images rewritten during replay.
+	ReplayedPages int
+	// DuplicateCommits counts commit markers whose sequence number had
+	// already been applied (e.g. a record duplicated by a retried append);
+	// their transactions are skipped, replay stays idempotent.
+	DuplicateCommits int
+	// DiscardedRecords is the number of intact records after the last
+	// commit marker — an uncommitted transaction the crash interrupted.
+	DiscardedRecords int
+	// TornTailBytes is the number of trailing bytes dropped because they
+	// failed length or checksum validation (a torn append).
+	TornTailBytes int64
+	// WALBytes is the size of the log body that was scanned.
+	WALBytes int64
+}
+
+// dirty reports whether recovery found anything worth reporting.
+func (ri *RecoveryInfo) dirty() bool {
+	return ri.ReplayedTxs > 0 || ri.DuplicateCommits > 0 ||
+		ri.DiscardedRecords > 0 || ri.TornTailBytes > 0
+}
+
+// String renders the report in prose, for logs and prtool.
+func (ri *RecoveryInfo) String() string {
+	return fmt.Sprintf("replayed %d tx (%d pages), discarded %d uncommitted records, %d duplicate commits, %d torn tail bytes",
+		ri.ReplayedTxs, ri.ReplayedPages, ri.DiscardedRecords, ri.DuplicateCommits, ri.TornTailBytes)
+}
+
+// walScanResult is everything scanWAL learned from a log body.
+type walScanResult struct {
+	txs     []walTx
+	lastSeq uint64
+	info    RecoveryInfo
+}
+
+// nextWALRecord validates the frame at the head of b. ok=false means the
+// bytes are a torn tail (short frame, implausible length, bad CRC): the
+// caller must discard from here on.
+func nextWALRecord(b []byte) (typ byte, payload []byte, size int, ok bool) {
+	if len(b) < walRecOverhead {
+		return 0, nil, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen > maxWALPayload {
+		return 0, nil, 0, false
+	}
+	size = walRecOverhead + plen
+	if size > len(b) {
+		return 0, nil, 0, false
+	}
+	if crc32.Checksum(b[:5+plen], castagnoli) != binary.LittleEndian.Uint32(b[5+plen:]) {
+		return 0, nil, 0, false
+	}
+	return b[4], b[5 : 5+plen], size, true
+}
+
+// scanWAL decodes a log body (the bytes after the 16-byte header) into
+// its committed transactions. It is a pure function over the bytes — the
+// fuzz target for the whole decode path — and must never panic or
+// allocate beyond O(len(data)).
+//
+// A torn tail (short or checksum-failing trailing bytes) and an
+// uncommitted trailing transaction are normal crash artifacts, reported
+// through the RecoveryInfo. A record that passes its checksum but decodes
+// to nonsense is real corruption: scanWAL returns a wrapped ErrWALCorrupt
+// and no transactions should be trusted.
+func scanWAL(data []byte, blockSize int) (walScanResult, error) {
+	var res walScanResult
+	res.info.WALBytes = int64(len(data))
+	var (
+		pages   []walPageImage
+		state   *walState
+		pending int
+	)
+	reset := func() { pages, state, pending = nil, nil, 0 }
+	off := 0
+	for off < len(data) {
+		typ, payload, size, ok := nextWALRecord(data[off:])
+		if !ok {
+			res.info.TornTailBytes = int64(len(data) - off)
+			break
+		}
+		switch typ {
+		case walRecPage:
+			if len(payload) < 8 {
+				return res, fmt.Errorf("%w: page record of %d bytes", ErrWALCorrupt, len(payload))
+			}
+			id := PageID(binary.LittleEndian.Uint32(payload[0:4]))
+			n := int(binary.LittleEndian.Uint32(payload[4:8]))
+			if n != len(payload)-8 || n > blockSize {
+				return res, fmt.Errorf("%w: page %d image of %d bytes (payload %d, block %d)",
+					ErrWALCorrupt, id, n, len(payload), blockSize)
+			}
+			pages = append(pages, walPageImage{id: id, data: payload[8 : 8+n]})
+			pending++
+		case walRecState:
+			st, err := decodeWALState(payload, blockSize)
+			if err != nil {
+				return res, err
+			}
+			if state != nil {
+				return res, fmt.Errorf("%w: two state records in one transaction", ErrWALCorrupt)
+			}
+			state = st
+			pending++
+		case walRecCommit:
+			if len(payload) != 8 {
+				return res, fmt.Errorf("%w: commit record of %d bytes", ErrWALCorrupt, len(payload))
+			}
+			seq := binary.LittleEndian.Uint64(payload)
+			if seq <= res.lastSeq {
+				// A replayed or duplicated commit: its transaction has
+				// already been applied, skip it idempotently.
+				res.info.DuplicateCommits++
+				reset()
+				break
+			}
+			if state == nil {
+				return res, fmt.Errorf("%w: commit %d without a state record", ErrWALCorrupt, seq)
+			}
+			for _, pg := range pages {
+				if int(pg.id) >= state.numPages {
+					return res, fmt.Errorf("%w: committed image for page %d beyond %d pages",
+						ErrWALCorrupt, pg.id, state.numPages)
+				}
+			}
+			res.txs = append(res.txs, walTx{seq: seq, pages: pages, state: *state})
+			res.lastSeq = seq
+			reset()
+		default:
+			return res, fmt.Errorf("%w: unknown record type %d", ErrWALCorrupt, typ)
+		}
+		off += size
+	}
+	res.info.DiscardedRecords = pending
+	return res, nil
+}
+
+// decodeWALState decodes and validates a STATE payload: the freelist must
+// fit the declared page count with no duplicates (the same invariant
+// openValidated enforces on the page-file trailer) and the metadata blob
+// must fit a superblock.
+func decodeWALState(payload []byte, blockSize int) (*walState, error) {
+	if len(payload) < 12 {
+		return nil, fmt.Errorf("%w: state record of %d bytes", ErrWALCorrupt, len(payload))
+	}
+	numPages := int(binary.LittleEndian.Uint32(payload[0:4]))
+	metaLen := int(binary.LittleEndian.Uint32(payload[4:8]))
+	if metaLen > blockSize-fileHeaderSize || metaLen > len(payload)-12 {
+		return nil, fmt.Errorf("%w: state metadata of %d bytes", ErrWALCorrupt, metaLen)
+	}
+	meta := payload[8 : 8+metaLen]
+	rest := payload[8+metaLen:]
+	freeCount := int(binary.LittleEndian.Uint32(rest[0:4]))
+	if freeCount > numPages || len(rest) != 4+4*freeCount {
+		return nil, fmt.Errorf("%w: state freelist of %d entries (payload %d, pages %d)",
+			ErrWALCorrupt, freeCount, len(payload), numPages)
+	}
+	free := make([]PageID, freeCount)
+	seen := make(map[PageID]struct{}, freeCount)
+	for i := range free {
+		v := PageID(binary.LittleEndian.Uint32(rest[4+4*i:]))
+		if int(v) >= numPages {
+			return nil, fmt.Errorf("%w: state freelist entry %d out of range (%d pages)", ErrWALCorrupt, v, numPages)
+		}
+		if _, dup := seen[v]; dup {
+			return nil, fmt.Errorf("%w: state freelist entry %d duplicated", ErrWALCorrupt, v)
+		}
+		seen[v] = struct{}{}
+		free[i] = v
+	}
+	return &walState{numPages: numPages, free: free, meta: meta}, nil
+}

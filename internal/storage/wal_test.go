@@ -1,0 +1,259 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// walTxBytes frames one committed transaction for tests.
+func walTxBytes(seq uint64, pages []walPageImage, numPages int, free []PageID, meta []byte) []byte {
+	var out []byte
+	for _, pg := range pages {
+		out = append(out, encodeWALPage(pg.id, pg.data)...)
+	}
+	out = append(out, encodeWALState(numPages, free, meta)...)
+	return append(out, encodeWALCommit(seq)...)
+}
+
+// TestWALScanRoundTrip: a log of well-formed committed transactions must
+// decode back to exactly the transactions that were framed.
+func TestWALScanRoundTrip(t *testing.T) {
+	img0 := bytes.Repeat([]byte{0x11}, 64)
+	img1 := bytes.Repeat([]byte{0x22}, 256)
+	var log []byte
+	log = append(log, walTxBytes(1, []walPageImage{{0, img0}}, 2, nil, []byte("m1"))...)
+	log = append(log, walTxBytes(2, []walPageImage{{1, img1}, {0, img0}}, 3, []PageID{2}, []byte("m2"))...)
+
+	res, err := scanWAL(log, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.txs) != 2 || res.lastSeq != 2 {
+		t.Fatalf("decoded %d txs, lastSeq %d; want 2 txs, lastSeq 2", len(res.txs), res.lastSeq)
+	}
+	if res.info.DiscardedRecords != 0 || res.info.TornTailBytes != 0 || res.info.DuplicateCommits != 0 {
+		t.Errorf("clean log reported dirt: %+v", res.info)
+	}
+	tx := res.txs[1]
+	if tx.seq != 2 || len(tx.pages) != 2 || !bytes.Equal(tx.pages[0].data, img1) {
+		t.Errorf("tx 2 decoded wrong: %+v", tx)
+	}
+	if tx.state.numPages != 3 || len(tx.state.free) != 1 || tx.state.free[0] != 2 ||
+		string(tx.state.meta) != "m2" {
+		t.Errorf("tx 2 state decoded wrong: %+v", tx.state)
+	}
+}
+
+// TestWALScanTornTail: any truncation point inside the log must decode to
+// only the transactions fully committed before it — never an error, never
+// a partial transaction.
+func TestWALScanTornTail(t *testing.T) {
+	tx1 := walTxBytes(1, []walPageImage{{0, bytes.Repeat([]byte{1}, 32)}}, 1, nil, nil)
+	tx2 := walTxBytes(2, []walPageImage{{0, bytes.Repeat([]byte{2}, 32)}}, 1, nil, nil)
+	log := append(append([]byte(nil), tx1...), tx2...)
+
+	for cut := 0; cut <= len(log); cut++ {
+		res, err := scanWAL(log[:cut], 256)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := 0
+		if cut >= len(tx1) {
+			want = 1
+		}
+		if cut == len(log) {
+			want = 2
+		}
+		if len(res.txs) != want {
+			t.Fatalf("cut %d: %d txs, want %d", cut, len(res.txs), want)
+		}
+		if cut < len(log) && res.info.TornTailBytes == 0 && res.info.DiscardedRecords == 0 {
+			// Every proper cut must be visible in the report (either a torn
+			// frame or intact-but-uncommitted records), except cuts exactly
+			// between transactions, which look clean... but still discard tx2.
+			if cut != len(tx1) && cut != 0 {
+				t.Fatalf("cut %d: truncation invisible in %+v", cut, res.info)
+			}
+		}
+	}
+}
+
+// TestWALScanBitFlipTail: flipping any byte of the final record makes it
+// (and only it) a torn tail — committed prefixes stay decodable.
+func TestWALScanBitFlipTail(t *testing.T) {
+	tx1 := walTxBytes(1, nil, 1, nil, nil)
+	commit2 := encodeWALCommit(2)
+	state2 := encodeWALState(1, nil, nil)
+	log := append(append(append([]byte(nil), tx1...), state2...), commit2...)
+
+	for i := len(tx1); i < len(log); i++ {
+		mutated := append([]byte(nil), log...)
+		mutated[i] ^= 0x80
+		res, err := scanWAL(mutated, 256)
+		if err != nil {
+			// A flip can turn a record into semantic nonsense with a
+			// recomputed... no: the CRC no longer matches, so every flip is
+			// a torn tail, not corruption.
+			t.Fatalf("flip at %d: %v", i, err)
+		}
+		if len(res.txs) != 1 || res.lastSeq != 1 {
+			t.Fatalf("flip at %d: %d txs (lastSeq %d), want only tx 1", i, len(res.txs), res.lastSeq)
+		}
+	}
+}
+
+// TestWALScanDuplicateCommit: a commit marker whose sequence number was
+// already applied is skipped idempotently and counted.
+func TestWALScanDuplicateCommit(t *testing.T) {
+	log := walTxBytes(1, []walPageImage{{0, []byte{9}}}, 1, nil, nil)
+	log = append(log, encodeWALCommit(1)...) // bare duplicate
+	// A full duplicated transaction (page+state+commit with an old seq)
+	// must also be skipped.
+	log = append(log, walTxBytes(1, []walPageImage{{0, []byte{7}}}, 1, nil, nil)...)
+
+	res, err := scanWAL(log, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.txs) != 1 || res.txs[0].pages[0].data[0] != 9 {
+		t.Fatalf("duplicate commit replayed: %d txs", len(res.txs))
+	}
+	if res.info.DuplicateCommits != 2 {
+		t.Errorf("DuplicateCommits = %d, want 2", res.info.DuplicateCommits)
+	}
+}
+
+// TestWALScanUncommittedTail: intact records after the last commit are
+// discarded and counted, not replayed.
+func TestWALScanUncommittedTail(t *testing.T) {
+	log := walTxBytes(1, nil, 1, nil, nil)
+	log = append(log, encodeWALPage(0, []byte{1, 2, 3})...)
+	log = append(log, encodeWALState(1, nil, nil)...)
+	res, err := scanWAL(log, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.txs) != 1 || res.info.DiscardedRecords != 2 {
+		t.Fatalf("txs=%d discarded=%d, want 1 and 2", len(res.txs), res.info.DiscardedRecords)
+	}
+}
+
+// TestWALScanCorrupt drives every semantically-invalid-but-checksummed
+// shape to a wrapped ErrWALCorrupt.
+func TestWALScanCorrupt(t *testing.T) {
+	cases := []struct {
+		name string
+		log  []byte
+	}{
+		{"commit without state", encodeWALCommit(1)},
+		{"two states", append(append(encodeWALState(1, nil, nil), encodeWALState(1, nil, nil)...), encodeWALCommit(1)...)},
+		{"unknown record type", appendWALRecord(nil, 99, []byte("??"))},
+		{"short page record", appendWALRecord(nil, walRecPage, []byte{1, 2, 3})},
+		{"page image exceeds block", func() []byte {
+			return encodeWALPage(0, bytes.Repeat([]byte{1}, 300)) // block size is 256
+		}()},
+		{"page beyond state geometry", walTxBytes(1, []walPageImage{{7, []byte{1}}}, 2, nil, nil)},
+		{"short commit record", appendWALRecord(nil, walRecCommit, []byte{1})},
+		{"short state record", appendWALRecord(nil, walRecState, []byte{0, 0})},
+		{"state freelist out of range", func() []byte {
+			st := encodeWALState(2, []PageID{5}, nil)
+			return append(st, encodeWALCommit(1)...)
+		}()},
+		{"state freelist duplicate", func() []byte {
+			st := encodeWALState(3, []PageID{1, 1}, nil)
+			return append(st, encodeWALCommit(1)...)
+		}()},
+		{"state meta overflows superblock", func() []byte {
+			return encodeWALState(1, nil, bytes.Repeat([]byte{1}, 250)) // 256-byte block, 24-byte header
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := scanWAL(tc.log, 256)
+			if !errors.Is(err, ErrWALCorrupt) {
+				t.Fatalf("scanWAL = %v, want ErrWALCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestWALHeader covers header round-trip and mismatch reporting.
+func TestWALHeader(t *testing.T) {
+	hdr := encodeWALHeader(4096)
+	if len(hdr) != walHeaderSize {
+		t.Fatalf("header is %d bytes, want %d", len(hdr), walHeaderSize)
+	}
+	if err := checkWALHeader(hdr, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkWALHeader(hdr, 512); !errors.Is(err, ErrWALCorrupt) {
+		t.Errorf("block-size mismatch: %v, want ErrWALCorrupt", err)
+	}
+	bad := append([]byte(nil), hdr...)
+	bad[0] = 'X'
+	if err := checkWALHeader(bad, 4096); !errors.Is(err, ErrWALCorrupt) {
+		t.Errorf("bad magic: %v, want ErrWALCorrupt", err)
+	}
+	vbad := append([]byte(nil), hdr...)
+	binary.LittleEndian.PutUint16(vbad[6:8], 9)
+	if err := checkWALHeader(vbad, 4096); !errors.Is(err, ErrWALCorrupt) {
+		t.Errorf("bad version: %v, want ErrWALCorrupt", err)
+	}
+}
+
+// FuzzWALScan fuzzes the whole decode path. scanWAL must never panic and
+// must uphold its invariants on arbitrary bytes: decoded transactions are
+// geometry-consistent and the report never exceeds the input.
+func FuzzWALScan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(walTxBytes(1, []walPageImage{{0, bytes.Repeat([]byte{0xAA}, 64)}}, 2, []PageID{1}, []byte("meta")))
+	f.Add(walTxBytes(1, nil, 1, nil, nil)[:7]) // torn frame
+	f.Add(encodeWALCommit(1))                  // corrupt: commit without state
+	f.Add(append(walTxBytes(1, nil, 1, nil, nil), encodeWALCommit(1)...))
+	f.Add(appendWALRecord(nil, 200, []byte{1, 2, 3}))
+	long := walTxBytes(3, []walPageImage{{1, bytes.Repeat([]byte{7}, 256)}}, 4, []PageID{0, 2}, nil)
+	f.Add(long)
+	f.Add(long[:len(long)-2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const blockSize = 256
+		res, err := scanWAL(data, blockSize)
+		if res.info.WALBytes != int64(len(data)) {
+			t.Fatalf("WALBytes %d, input %d", res.info.WALBytes, len(data))
+		}
+		if res.info.TornTailBytes > int64(len(data)) || res.info.TornTailBytes < 0 {
+			t.Fatalf("TornTailBytes %d out of range", res.info.TornTailBytes)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrWALCorrupt) {
+				t.Fatalf("non-sentinel error: %v", err)
+			}
+			return
+		}
+		var lastSeq uint64
+		for _, tx := range res.txs {
+			if tx.seq <= lastSeq {
+				t.Fatalf("non-monotonic commit seq %d after %d", tx.seq, lastSeq)
+			}
+			lastSeq = tx.seq
+			if tx.state.numPages < 0 {
+				t.Fatalf("negative page count")
+			}
+			for _, pg := range tx.pages {
+				if int(pg.id) >= tx.state.numPages || len(pg.data) > blockSize {
+					t.Fatalf("tx %d: image for page %d (%d bytes) outside geometry", tx.seq, pg.id, len(pg.data))
+				}
+			}
+			for _, id := range tx.state.free {
+				if int(id) >= tx.state.numPages {
+					t.Fatalf("tx %d: free page %d outside geometry", tx.seq, id)
+				}
+			}
+		}
+		if lastSeq != res.lastSeq {
+			t.Fatalf("lastSeq %d, decoded max %d", res.lastSeq, lastSeq)
+		}
+	})
+}

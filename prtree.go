@@ -181,12 +181,41 @@ func (o Options) bulkOptions() bulk.Options {
 // supplied via Options.Backend. All block I/O flows through a Counting
 // decorator, so IOStats works uniformly across backends.
 type Tree struct {
-	inner  *rtree.Tree
-	pager  *storage.Pager
-	io     *storage.Counting
-	bopts  bulk.Options
-	path   string // index file path; "" for non-file backends
-	closed bool
+	inner    *rtree.Tree
+	pager    *storage.Pager
+	io       *storage.Counting
+	bopts    bulk.Options
+	path     string // index file path; "" for non-file backends
+	closed   bool
+	recovery *storage.RecoveryInfo // what crash recovery did at Open, if anything
+}
+
+// mutate brackets a mutation in a backend transaction: Begin, run fn,
+// stage the refreshed tree metadata, Commit. On a durable backend the
+// whole mutation is atomic — after Commit it survives a crash; a panic
+// out of fn (including an injected fault) rolls the backend's in-memory
+// state back to the last committed transaction before re-panicking, so
+// the on-disk index recovers cleanly even though this Tree value is no
+// longer usable. Non-transactional backends run fn unbracketed.
+func (t *Tree) mutate(fn func()) error {
+	tx := storage.EnsureTransactional(t.io)
+	tx.Begin()
+	done := false
+	defer func() {
+		if !done {
+			tx.Rollback()
+		}
+	}()
+	fn()
+	t.io.SetMeta(t.inner.EncodeMeta())
+	done = true
+	if err := tx.Commit(); err != nil {
+		// The backend rolls back to the committed state; this Tree's
+		// in-memory structure has already mutated and must be reopened.
+		tx.Rollback()
+		return err
+	}
+	return nil
 }
 
 // newTree assembles the facade plumbing over a raw backend: the counting
@@ -218,22 +247,47 @@ func BulkWith(l Loader, items []Item, opts *Options) *Tree {
 // l: existing pages are released back to the backend and the new tree is
 // built on the same storage, so a file-backed index is rebuilt within its
 // file. The tree must not be queried concurrently.
+// On a durable backend the rebuild is one transaction: a crash mid-load
+// recovers to the previous tree, and only Commit's success publishes the
+// new one. Pages of the old tree become reusable after the commit, so the
+// file may transiently hold both trees; the next checkpoint reclaims the
+// tail.
 func (t *Tree) BulkLoad(l Loader, items []Item) error {
 	if t.closed {
 		return fmt.Errorf("prtree: BulkLoad on closed tree")
 	}
-	t.inner.Release()
-	t.inner = bulk.FromItems(l, t.pager, items, t.bopts)
+	if err := t.mutate(func() {
+		t.inner.Release()
+		t.inner = bulk.FromItems(l, t.pager, items, t.bopts)
+	}); err != nil {
+		return fmt.Errorf("prtree: bulk load: %w", err)
+	}
 	return nil
 }
 
 // Insert adds an item with the configured dynamic-update heuristic. Note
 // the paper's caveat: updates do not maintain the PR-tree's worst-case
 // query guarantee; use Dynamic for guaranteed bounds under updates.
-func (t *Tree) Insert(it Item) { t.inner.Insert(it) }
+//
+// On a durable backend the insert is one committed transaction; a commit
+// failure panics (Insert predates the error return), carrying the
+// underlying error.
+func (t *Tree) Insert(it Item) {
+	if err := t.mutate(func() { t.inner.Insert(it) }); err != nil {
+		panic(fmt.Errorf("prtree: insert: %w", err))
+	}
+}
 
 // Delete removes the item with matching rect and id, reporting success.
-func (t *Tree) Delete(it Item) bool { return t.inner.Delete(it) }
+// Like Insert it commits as one transaction on a durable backend and
+// panics on a commit failure.
+func (t *Tree) Delete(it Item) bool {
+	var ok bool
+	if err := t.mutate(func() { ok = t.inner.Delete(it) }); err != nil {
+		panic(fmt.Errorf("prtree: delete: %w", err))
+	}
+	return ok
+}
 
 // Len returns the number of stored items.
 func (t *Tree) Len() int { return t.inner.Len() }
@@ -330,11 +384,46 @@ func NewDynamic(opts *Options) *Dynamic {
 	return &Dynamic{inner: inner, io: counting}
 }
 
-// Insert adds an item (amortized O((log_{M/B} N)(log2 N)/B) block I/Os).
-func (d *Dynamic) Insert(it Item) { d.inner.Insert(it) }
+// mutate is Tree.mutate for the dynamic index: one backend transaction
+// per mutation batch. The logarithmic method keeps its own component
+// directory in memory, so no metadata blob is staged.
+func (d *Dynamic) mutate(fn func()) error {
+	tx := storage.EnsureTransactional(d.io)
+	tx.Begin()
+	done := false
+	defer func() {
+		if !done {
+			tx.Rollback()
+		}
+	}()
+	fn()
+	done = true
+	if err := tx.Commit(); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return nil
+}
 
-// Delete removes an item by (rect, id), reporting success.
-func (d *Dynamic) Delete(it Item) bool { return d.inner.Delete(it) }
+// Insert adds an item (amortized O((log_{M/B} N)(log2 N)/B) block I/Os).
+// On a durable backend the insert — including any component rebuild the
+// logarithmic method triggers — commits as one transaction; a commit
+// failure panics, carrying the underlying error.
+func (d *Dynamic) Insert(it Item) {
+	if err := d.mutate(func() { d.inner.Insert(it) }); err != nil {
+		panic(fmt.Errorf("prtree: dynamic insert: %w", err))
+	}
+}
+
+// Delete removes an item by (rect, id), reporting success. Transactional
+// like Insert.
+func (d *Dynamic) Delete(it Item) bool {
+	var ok bool
+	if err := d.mutate(func() { ok = d.inner.Delete(it) }); err != nil {
+		panic(fmt.Errorf("prtree: dynamic delete: %w", err))
+	}
+	return ok
+}
 
 // Query reports every live item intersecting q.
 func (d *Dynamic) Query(q Rect, fn func(Item) bool) DynamicStats {
@@ -347,8 +436,13 @@ func (d *Dynamic) Search(q Rect) []Item { return d.inner.QueryCollect(q) }
 // Len returns the number of live items.
 func (d *Dynamic) Len() int { return d.inner.Len() }
 
-// Flush compacts the structure into a single static PR-tree.
-func (d *Dynamic) Flush() { d.inner.Flush() }
+// Flush compacts the structure into a single static PR-tree, as one
+// committed transaction on a durable backend (panics on commit failure).
+func (d *Dynamic) Flush() {
+	if err := d.mutate(func() { d.inner.Flush() }); err != nil {
+		panic(fmt.Errorf("prtree: dynamic flush: %w", err))
+	}
+}
 
 // IOStats returns cumulative block reads/writes on the index's backend.
 func (d *Dynamic) IOStats() IOStats { return d.io.Stats() }

@@ -54,4 +54,47 @@ var (
 	// ErrTruncated reports an index file shorter than its header's
 	// recorded geometry requires.
 	ErrTruncated = storage.ErrTruncated
+	// ErrChecksum reports a page whose stored CRC32C does not match its
+	// contents — latent sector corruption caught at read time. CheckPages
+	// returns it wrapped; the read path panics with it.
+	ErrChecksum = storage.ErrChecksum
+	// ErrWALCorrupt reports a write-ahead log Open cannot trust: records
+	// with valid checksums but invalid semantics. (A torn tail — invalid
+	// framing or checksum at the end of the log — is a normal crash
+	// artifact, silently truncated, not this error.)
+	ErrWALCorrupt = storage.ErrWALCorrupt
+	// ErrInjectedFault is the sentinel wrapped by every failure a Faulty
+	// backend (or a file backend's crash point) injects deliberately.
+	ErrInjectedFault = storage.ErrInjectedFault
 )
+
+// RecoveryInfo describes what crash recovery did while opening an index
+// file; see Tree.Recovery.
+type RecoveryInfo = storage.RecoveryInfo
+
+// Transactional is the optional atomicity seam a custom Backend may
+// implement; mutation paths bracket their writes with Begin/Commit so a
+// durable backend can apply each mutation atomically. The built-in file
+// backend implements it with a write-ahead log.
+type Transactional = storage.Transactional
+
+// FaultMode selects what a fault-injecting backend does when it fires:
+// FaultError, FaultTorn, FaultCrash or FaultStop.
+type FaultMode = storage.FaultMode
+
+// Fault-injection modes for NewFaultyBackend.
+const (
+	FaultNone  = storage.FaultNone
+	FaultError = storage.FaultError
+	FaultTorn  = storage.FaultTorn
+	FaultCrash = storage.FaultCrash
+	FaultStop  = storage.FaultStop
+)
+
+// NewFaultyBackend wraps a backend with deterministic failure injection:
+// after triggerAfter counted operations (writes, syncs, commits) the
+// configured fault fires, wrapping ErrInjectedFault. It exists for
+// torture tests; see the storage.Faulty documentation for the modes.
+func NewFaultyBackend(b Backend, mode FaultMode, triggerAfter int64) Backend {
+	return storage.NewFaulty(b, mode, triggerAfter)
+}
