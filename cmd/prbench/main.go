@@ -8,10 +8,14 @@
 //
 //	prbench [-scale F] [-queries N] [-mem M] [-workers W] [-seed S]
 //	        [-layout raw|compressed] [-json FILE] [-only ids] [-faults]
+//	        [-cachesweep]
 //
 // -faults is shorthand for -only faults: drive the file backend through
 // every injected failure mode (error, torn write, crash, silent stop) and
 // report what crash recovery restores.
+// -cachesweep is shorthand for -only cachesweep: serve a file-backed tree
+// at pager capacities far below the index size, sweeping eviction policy
+// (lru, s3fifo), structure-aware prefetch and the mmap read path.
 // -scale multiplies the default dataset sizes (~120k rectangles at 1.0;
 // the paper used 10-16.7M — scale 100 reproduces that on a large machine).
 // -workers sets the bulk-load pipeline's parallelism (default: GOMAXPROCS;
@@ -74,14 +78,18 @@ func main() {
 	seed := flag.Int64("seed", 2004, "generator seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	faults := flag.Bool("faults", false, "run only the fault-injection recovery sweep (shorthand for -only faults)")
+	cachesweep := flag.Bool("cachesweep", false, "run only the cache-pressure sweep (shorthand for -only cachesweep)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
-	if *faults {
+	for flagName, set := range map[string]*bool{"faults": faults, "cachesweep": cachesweep} {
+		if !*set {
+			continue
+		}
 		if *only != "" {
-			fmt.Fprintln(os.Stderr, "prbench: -faults and -only are mutually exclusive")
+			fmt.Fprintf(os.Stderr, "prbench: -%s does not combine with -only or another shorthand\n", flagName)
 			os.Exit(2)
 		}
-		*only = "faults"
+		*only = flagName
 	}
 
 	layout, err := rtree.ParseLayout(*layoutFlag)
@@ -96,7 +104,7 @@ func main() {
 		"table1", "theorem3", "lemma2", "utilization",
 		"ablation-priority", "ablation-roundb", "ablation-cache",
 		"futurework", "throughput", "layout",
-		"walbuild", "faults",
+		"walbuild", "faults", "cachesweep",
 	}
 	if *list {
 		for _, id := range ids {
@@ -155,6 +163,7 @@ func main() {
 		"layout":            experiments.LayoutSweep,
 		"walbuild":          experiments.WALBuild,
 		"faults":            experiments.FaultSweep,
+		"cachesweep":        experiments.CacheSweep,
 	}
 
 	jsonOnly := *jsonPath == "-"

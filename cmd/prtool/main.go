@@ -48,6 +48,10 @@ func main() {
 	area := flag.Float64("area", 0.01, "bench: query area fraction")
 	seed := flag.Int64("seed", 1, "bench: query seed")
 	limit := flag.Int("limit", 0, "query: stop after N matches (0 = all)")
+	cache := flag.Int("cache", 0, "page-cache capacity in pages (0 = unbounded, -1 disables)")
+	policyName := flag.String("policy", "lru", "bounded-cache eviction policy: lru|s3fifo")
+	prefetch := flag.Bool("prefetch", false, "enable structure-aware speculative read-ahead")
+	useMmap := flag.Bool("mmap", false, "serve file-backed reads through a read-only memory mapping")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -61,7 +65,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := &prtree.Options{MemoryItems: *mem, Layout: layout}
+	policy, err := prtree.ParseEvictionPolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	capacity := *cache
+	if capacity < 0 {
+		capacity = 0 // Options semantics: 0 disables, unset means unbounded
+	} else if capacity == 0 {
+		capacity = -1
+	}
+	opts := &prtree.Options{
+		MemoryItems:   *mem,
+		Layout:        layout,
+		CacheCapacity: capacity,
+		Eviction:      policy,
+		Prefetch:      *prefetch,
+		Mmap:          *useMmap,
+	}
 
 	if flag.Arg(0) == "create" {
 		if *in == "" || *index == "" {
@@ -95,7 +116,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "prtool: %s with both -in and -index is ambiguous; use create to build the index, then drop -in to open it\n", flag.Arg(0))
 		os.Exit(2)
 	case *index != "":
-		tree, err = prtree.Open(*index, nil)
+		tree, err = prtree.Open(*index, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,6 +154,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("validation:    ok")
+		printCache(tree)
 	case "query":
 		if flag.NArg() < 2 {
 			fmt.Fprintln(os.Stderr, "prtool: query needs x1,y1,x2,y2")
@@ -152,6 +174,7 @@ func main() {
 	case "bench":
 		world := tree.MBR()
 		qs := workload.Squares(world, *area, *queries, *seed)
+		tree.ResetIOStats()
 		var leaves, results int
 		for _, q := range qs {
 			var st prtree.QueryStats
@@ -161,6 +184,12 @@ func main() {
 			leaves += st.LeavesVisited
 			results += st.Results
 		}
+		// Close first: it drains the prefetch worker pool, so the I/O and
+		// cache counters below are settled (the deferred Close is a no-op).
+		if err := tree.Close(); err != nil {
+			fatal(err)
+		}
+		io := tree.IOStats()
 		fmt.Printf("queries:      %d squares of %.2f%% area\n", *queries, *area*100)
 		fmt.Printf("avg T:        %.1f\n", float64(results)/float64(*queries))
 		fmt.Printf("avg leaf I/O: %.1f\n", float64(leaves)/float64(*queries))
@@ -168,6 +197,8 @@ func main() {
 			pct := 100 * float64(leaves) / (float64(results) / float64(tree.Fanout()))
 			fmt.Printf("cost:         %.1f%% of T/B\n", pct)
 		}
+		fmt.Printf("block I/O:    %d demand reads, %d prefetch reads\n", io.Reads, io.PrefetchReads)
+		printCache(tree)
 	case "fsck":
 		if tree.Path() == "" {
 			fmt.Fprintln(os.Stderr, "prtool: fsck needs -index (an on-disk file to scrub)")
@@ -212,6 +243,26 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "prtool: unknown subcommand %q\n", flag.Arg(0))
 		os.Exit(2)
+	}
+}
+
+// printCache reports the pager's cache behavior: the active eviction
+// policy and capacity plus the hit/miss/eviction (and prefetch) counters
+// accumulated so far in this process.
+func printCache(tree *prtree.Tree) {
+	cs := tree.CacheStats()
+	capStr := "unbounded"
+	switch {
+	case cs.Capacity == 0:
+		capStr = "disabled"
+	case cs.Capacity > 0:
+		capStr = fmt.Sprintf("%d pages", cs.Capacity)
+	}
+	fmt.Printf("cache:        policy=%s capacity=%s\n", cs.Policy, capStr)
+	fmt.Printf("              hits=%d misses=%d evictions=%d (hit rate %.1f%%)\n",
+		cs.Hits, cs.Misses, cs.Evictions, 100*cs.HitRatio())
+	if cs.PrefetchIssued > 0 || cs.PrefetchUsed > 0 {
+		fmt.Printf("              prefetch issued=%d used=%d\n", cs.PrefetchIssued, cs.PrefetchUsed)
 	}
 }
 

@@ -22,7 +22,16 @@ func Create(path string, opts *Options) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prtree: create %s: %w", path, err)
 	}
-	counting, pager := newTree(fb, o)
+	dev := storage.Backend(fb)
+	if o.Mmap {
+		m, merr := storage.NewMmap(fb)
+		if merr != nil {
+			fb.Abandon()
+			return nil, fmt.Errorf("prtree: create %s: %w", path, merr)
+		}
+		dev = m
+	}
+	counting, pager := newTree(dev, o)
 	inner := rtree.New(pager, rtree.Config{
 		Fanout: o.Fanout,
 		Split:  o.Update,
@@ -52,7 +61,16 @@ func Open(path string, opts *Options) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prtree: %w", err)
 	}
-	counting, pager := newTree(fb, o)
+	dev := storage.Backend(fb)
+	if o.Mmap {
+		m, merr := storage.NewMmap(fb)
+		if merr != nil {
+			fb.Abandon()
+			return nil, fmt.Errorf("prtree: open %s: %w", path, merr)
+		}
+		dev = m
+	}
+	counting, pager := newTree(dev, o)
 	inner, err := rtree.OpenFromMeta(pager, fb.Meta())
 	if err != nil {
 		// Abandon, not Close: a failed open must not rewrite the header or
@@ -121,6 +139,7 @@ func (t *Tree) Close() error {
 		return nil
 	}
 	t.closed = true
+	t.pager.Close() // stop prefetch workers before the backend goes away
 	t.io.SetMeta(t.inner.EncodeMeta())
 	if err := t.io.Close(); err != nil {
 		return fmt.Errorf("prtree: close: %w", err)

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCacheSweepGate is the CI gate over the raw-speed I/O tier: at every
+// swept capacity, policy and backend the demand block-read count must be
+// bit-identical with prefetch on and off (speculative I/O lives in the
+// separate PrefetchReads counter), prefetch-on runs must actually issue
+// speculative reads, and S3-FIFO must meet or beat LRU's hit rate on the
+// hot-set-plus-scan-flood workload it is designed for.
+func TestCacheSweepGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cachesweep runs a file-backed workload")
+	}
+	cfg := Config{Scale: 0.25, Queries: 50}
+	pts := cacheSweepRun(cfg)
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+
+	type key struct {
+		backend string
+		pct     int
+		policy  string
+	}
+	baseReads := map[key]uint64{}
+	hitRate := map[key]float64{}
+	for _, p := range pts {
+		k := key{p.Backend, p.CapPct, p.Policy.String()}
+		if !p.Prefetch {
+			baseReads[k] = p.DemandReads
+			hitRate[k] = p.HitRate
+			if p.PrefetchReads != 0 {
+				t.Errorf("%v prefetch-off issued %d speculative reads", k, p.PrefetchReads)
+			}
+		}
+	}
+	for _, p := range pts {
+		if !p.Prefetch {
+			continue
+		}
+		k := key{p.Backend, p.CapPct, p.Policy.String()}
+		base, ok := baseReads[k]
+		if !ok {
+			t.Fatalf("%v has no prefetch-off baseline", k)
+		}
+		if p.DemandReads != base {
+			t.Errorf("%v: demand reads %d with prefetch, %d without — accounting diverged",
+				k, p.DemandReads, base)
+		}
+		if p.PrefetchReads == 0 {
+			t.Errorf("%v: prefetch enabled but no speculative reads issued", k)
+		}
+	}
+	for _, pct := range []int{10, 25} {
+		lru := hitRate[key{"file", pct, "lru"}]
+		s3 := hitRate[key{"file", pct, "s3fifo"}]
+		if s3 < lru {
+			t.Errorf("capacity %d%%: s3fifo hit rate %.4f below lru %.4f", pct, s3, lru)
+		}
+		t.Logf("capacity %d%%: hit rate lru=%.4f s3fifo=%.4f", pct, lru, s3)
+	}
+}
+
+// Example of the rendered table for -v runs and manual inspection.
+func TestCacheSweepRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cachesweep runs a file-backed workload")
+	}
+	tab := CacheSweep(Config{Scale: 0.1, Queries: 10})
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(tab.Columns))
+		}
+		if row[len(row)-1] != "baseline" && row[len(row)-1] != "identical" {
+			t.Errorf("demand identity column: %s", fmt.Sprint(row))
+		}
+	}
+}

@@ -249,5 +249,6 @@ func All(cfg Config) []Table {
 		FutureWorkUpdates(cfg),
 		QueryThroughput(cfg),
 		LayoutSweep(cfg),
+		CacheSweep(cfg),
 	}
 }

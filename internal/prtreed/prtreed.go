@@ -129,17 +129,39 @@ func (t *Tree) Nodes() int { return t.nodes }
 
 // QueryStats counts block-equivalents touched by a query.
 type QueryStats struct {
-	NodesVisited  int
-	LeavesVisited int
-	Results       int
+	NodesVisited    int
+	LeavesVisited   int
+	InternalVisited int
+	Results         int
+}
+
+// RunOptions carries the per-query execution knobs, matching the paged 2D
+// tree's executor so callers can swap between the two without changing
+// their cancellation or limit plumbing.
+type RunOptions struct {
+	// Cancel, when non-nil, is polled before every node visit; a non-nil
+	// return aborts the traversal immediately and becomes the query's
+	// error. Statistics cover the work done up to that point.
+	Cancel func() error
+	// Limit, when positive, ends the query (successfully) as soon as that
+	// many results have been reported.
+	Limit int
 }
 
 // Query reports every item intersecting q. fn returning false stops early.
-// The traversal is an explicit-stack preorder walk (children pushed in
-// reverse), mirroring the paged 2D tree's iterative read path: deep trees
-// cost no call-stack growth and scratch stacks are pooled across queries.
-// Pooling (rather than a field) keeps concurrent and nested queries safe.
+// It is RunWindow with zero options.
 func (t *Tree) Query(q geom.RectD, fn func(geom.ItemD) bool) QueryStats {
+	st, _ := t.RunWindow(q, fn, RunOptions{})
+	return st
+}
+
+// RunWindow reports every item intersecting q with cooperative
+// cancellation and an optional result limit. The traversal is an
+// explicit-stack preorder walk (children pushed in reverse), mirroring the
+// paged 2D tree's iterative read path: deep trees cost no call-stack
+// growth and scratch stacks are pooled across queries. Pooling (rather
+// than a field) keeps concurrent and nested queries safe.
+func (t *Tree) RunWindow(q geom.RectD, fn func(geom.ItemD) bool, opt RunOptions) (QueryStats, error) {
 	var st QueryStats
 	sp, _ := t.stacks.Get().(*[]*node)
 	if sp == nil {
@@ -152,6 +174,11 @@ func (t *Tree) Query(q geom.RectD, fn func(geom.ItemD) bool) QueryStats {
 	defer func() { *sp = stack[:0]; t.stacks.Put(sp) }()
 	stack = append(stack[:0], t.root)
 	for len(stack) > 0 {
+		if opt.Cancel != nil {
+			if err := opt.Cancel(); err != nil {
+				return st, err
+			}
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		st.NodesVisited++
@@ -161,19 +188,23 @@ func (t *Tree) Query(q geom.RectD, fn func(geom.ItemD) bool) QueryStats {
 				if q.Intersects(it.Rect) {
 					st.Results++
 					if fn != nil && !fn(it) {
-						return st
+						return st, nil
+					}
+					if opt.Limit > 0 && st.Results >= opt.Limit {
+						return st, nil
 					}
 				}
 			}
 			continue
 		}
+		st.InternalVisited++
 		for i := len(n.children) - 1; i >= 0; i-- {
 			if c := n.children[i]; q.Intersects(c.bounds) {
 				stack = append(stack, c)
 			}
 		}
 	}
-	return st
+	return st, nil
 }
 
 // QueryBatch runs every query concurrently on up to workers goroutines

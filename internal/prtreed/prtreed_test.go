@@ -314,3 +314,55 @@ func TestPriorityExtremesPerDirection(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWindowOptions(t *testing.T) {
+	items := randItemsD(4000, 3, 77)
+	tr := Build(items, Config{Dim: 3, B: 16})
+	q := geom.NewRectD([]float64{0, 0, 0}, []float64{1, 1, 1})
+
+	full, err := tr.RunWindow(q, nil, RunOptions{})
+	if err != nil {
+		t.Fatalf("RunWindow: %v", err)
+	}
+	if full.Results != tr.Len() {
+		t.Fatalf("full window found %d of %d", full.Results, tr.Len())
+	}
+	if full.NodesVisited != full.LeavesVisited+full.InternalVisited {
+		t.Fatalf("visit accounting: nodes=%d leaves=%d internal=%d",
+			full.NodesVisited, full.LeavesVisited, full.InternalVisited)
+	}
+
+	// Limit short-circuits the walk.
+	lim, err := tr.RunWindow(q, nil, RunOptions{Limit: 7})
+	if err != nil {
+		t.Fatalf("RunWindow limit: %v", err)
+	}
+	if lim.Results != 7 {
+		t.Fatalf("limit=7 reported %d results", lim.Results)
+	}
+	if lim.NodesVisited >= full.NodesVisited {
+		t.Fatalf("limited walk visited %d nodes, full walk %d", lim.NodesVisited, full.NodesVisited)
+	}
+
+	// Cancel aborts with the callback's error after bounded progress.
+	wantErr := fmt.Errorf("deadline")
+	calls := 0
+	st, err := tr.RunWindow(q, nil, RunOptions{Cancel: func() error {
+		calls++
+		if calls > 3 {
+			return wantErr
+		}
+		return nil
+	}})
+	if err != wantErr {
+		t.Fatalf("cancel error = %v", err)
+	}
+	if st.NodesVisited != 3 {
+		t.Fatalf("cancelled after %d visits, want 3", st.NodesVisited)
+	}
+
+	// Query is RunWindow with zero options.
+	if got := tr.Query(q, nil); got != full {
+		t.Fatalf("Query stats %+v != RunWindow %+v", got, full)
+	}
+}

@@ -1,0 +1,422 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// --- Counting: the accounting contract of the raw-speed I/O tier ---
+
+func TestCountingSpeculativeReadsAreNotDemandReads(t *testing.T) {
+	d := NewDisk(64)
+	ids := make([]PageID, 4)
+	for i := range ids {
+		ids[i] = d.Alloc()
+		d.Write(ids[i], bytes.Repeat([]byte{byte(i + 1)}, 64))
+	}
+	c := NewCounting(d)
+	c.ResetStats()
+
+	bufs := make([][]byte, len(ids))
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	c.ReadBlocksSpeculative(ids, bufs)
+	for i, id := range ids {
+		want := make([]byte, 64)
+		d.Read(id, want)
+		if !bytes.Equal(bufs[i], want) {
+			t.Errorf("speculative read of page %d returned wrong bytes", id)
+		}
+	}
+	d.ResetStats() // drop the comparison reads just made
+
+	st := c.Stats()
+	if st.PrefetchReads != uint64(len(ids)) {
+		t.Errorf("PrefetchReads = %d, want %d", st.PrefetchReads, len(ids))
+	}
+	if st.Reads != 0 {
+		t.Errorf("speculative reads leaked into Reads: %d", st.Reads)
+	}
+	if st.Total() != 0 {
+		t.Errorf("Total() = %d includes speculative reads; they are overlap, not cost", st.Total())
+	}
+}
+
+func TestCountingReadBlocksCountsDemandReads(t *testing.T) {
+	d := NewDisk(64)
+	ids := []PageID{d.Alloc(), d.Alloc(), d.Alloc()}
+	c := NewCounting(d)
+	c.ResetStats()
+	bufs := [][]byte{make([]byte, 64), make([]byte, 64), make([]byte, 64)}
+	c.ReadBlocks(ids, bufs)
+	if st := c.Stats(); st.Reads != 3 || st.PrefetchReads != 0 {
+		t.Errorf("ReadBlocks stats = %+v, want 3 demand reads", st)
+	}
+}
+
+func TestCountingAccountDemandReads(t *testing.T) {
+	d := NewDisk(64)
+	c := NewCounting(d)
+	c.ResetStats()
+	d.ResetStats()
+	c.AccountDemandReads(5)
+	if st := c.Stats(); st.Reads != 5 {
+		t.Errorf("Counting.Reads = %d, want 5", st.Reads)
+	}
+	if st := d.Stats(); st.Reads != 5 {
+		t.Errorf("inner Disk.Reads = %d, want 5 (charge must forward down the chain)", st.Reads)
+	}
+}
+
+// TestPrefetchDemandIdentity is the core invariant of the prefetch design:
+// at every capacity and policy, enabling prefetch changes neither the
+// demand-read count nor the cache hit/miss/eviction counters — staged
+// pages live outside the cache and only enter it when a demand miss
+// consumes them, charged as the read they replaced.
+func TestPrefetchDemandIdentity(t *testing.T) {
+	const pages = 64
+	d := NewDisk(64)
+	ids := make([]PageID, pages)
+	for i := range ids {
+		ids[i] = d.Alloc()
+		d.Write(ids[i], []byte{byte(i)})
+	}
+	// A deterministic access trace with reuse and scans.
+	rng := rand.New(rand.NewSource(42))
+	trace := make([]PageID, 0, 2000)
+	for len(trace) < 2000 {
+		if rng.Intn(3) == 0 { // scan burst
+			s := rng.Intn(pages - 8)
+			for k := 0; k < 8; k++ {
+				trace = append(trace, ids[s+k])
+			}
+		} else { // hot set
+			trace = append(trace, ids[rng.Intn(8)])
+		}
+	}
+
+	type outcome struct {
+		reads, hits, misses, evictions uint64
+	}
+	run := func(capacity int, pol EvictionPolicy, prefetch bool) outcome {
+		c := NewCounting(d)
+		p := NewPagerWith(c, PagerOptions{Capacity: capacity, Policy: pol, Prefetch: prefetch})
+		for i, id := range trace {
+			if prefetch && i%7 == 0 {
+				// Hint a window of upcoming pages, like a traversal would.
+				end := i + 5
+				if end > len(trace) {
+					end = len(trace)
+				}
+				p.Prefetch(trace[i:end])
+			}
+			p.Read(id)
+		}
+		p.Close()
+		cs := p.CacheStats()
+		return outcome{c.Stats().Reads, cs.Hits, cs.Misses, cs.Evictions}
+	}
+
+	for _, capacity := range []int{-1, 0, 1, 2, 7, 16, pages} {
+		for _, pol := range []EvictionPolicy{EvictLRU, EvictS3FIFO} {
+			base := run(capacity, pol, false)
+			got := run(capacity, pol, true)
+			if got != base {
+				t.Errorf("cap=%d policy=%v: prefetch on %+v != off %+v", capacity, pol, got, base)
+			}
+		}
+	}
+}
+
+// --- FileBackend.ReadBlocks: batched reads must match per-page reads ---
+
+func TestFileReadBlocksMatchesPerPageReads(t *testing.T) {
+	fb, err := CreateFile(tempIndex(t), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	const n = 40
+	ids := make([]PageID, n)
+	for i := range ids {
+		ids[i] = fb.Alloc()
+		fb.Write(ids[i], bytes.Repeat([]byte{byte(i + 1)}, 50+i))
+	}
+	// Shuffle so the batch exercises both run-grouping and singletons,
+	// and leave one allocated-but-unwritten page (reads as zeros).
+	blank := fb.Alloc()
+	rng := rand.New(rand.NewSource(7))
+	batch := append([]PageID{}, ids...)
+	rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+	batch = append(batch, blank)
+
+	bufs := make([][]byte, len(batch))
+	for i := range bufs {
+		bufs[i] = make([]byte, 256)
+	}
+	fb.ReadBlocks(batch, bufs)
+	for i, id := range batch {
+		want := make([]byte, 256)
+		fb.Read(id, want)
+		if !bytes.Equal(bufs[i], want) {
+			t.Errorf("batched read of page %d diverges from Read", id)
+		}
+	}
+}
+
+func TestFileReadBlocksShortBuffers(t *testing.T) {
+	fb, err := CreateFile(tempIndex(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	a, b := fb.Alloc(), fb.Alloc()
+	fb.Write(a, bytes.Repeat([]byte{0xaa}, 128))
+	fb.Write(b, bytes.Repeat([]byte{0xbb}, 128))
+	short := make([]byte, 16)
+	full := make([]byte, 128)
+	fb.ReadBlocks([]PageID{a, b}, [][]byte{short, full})
+	if !bytes.Equal(short, bytes.Repeat([]byte{0xaa}, 16)) {
+		t.Error("short buffer not filled with the page prefix")
+	}
+	if !bytes.Equal(full, bytes.Repeat([]byte{0xbb}, 128)) {
+		t.Error("full buffer wrong")
+	}
+}
+
+func TestFileReadBlocksSeesTxOverlay(t *testing.T) {
+	fb, err := CreateFile(tempIndex(t), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	a, b := fb.Alloc(), fb.Alloc()
+	fb.Write(a, bytes.Repeat([]byte{1}, 128))
+	fb.Write(b, bytes.Repeat([]byte{2}, 128))
+	if err := fb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	fb.Begin()
+	fb.Write(a, bytes.Repeat([]byte{9}, 128))
+	bufs := [][]byte{make([]byte, 128), make([]byte, 128)}
+	fb.ReadBlocks([]PageID{a, b}, bufs)
+	if bufs[0][0] != 9 {
+		t.Errorf("in-tx batched read of overlaid page sees %d, want 9", bufs[0][0])
+	}
+	if bufs[1][0] != 2 {
+		t.Errorf("in-tx batched read of clean page sees %d, want 2", bufs[1][0])
+	}
+	fb.Rollback()
+	fb.ReadBlocks([]PageID{a}, bufs[:1])
+	if bufs[0][0] != 1 {
+		t.Errorf("post-rollback batched read sees %d, want 1", bufs[0][0])
+	}
+}
+
+func TestFileReadBlocksChecksumPanic(t *testing.T) {
+	path := tempIndex(t)
+	fb, err := CreateFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fb.Alloc()
+	fb.Write(id, bytes.Repeat([]byte{5}, 128))
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptPageByte(t, path, 128, id)
+	re, err := OpenFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Abandon()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("batched read of a corrupt page did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrChecksum) {
+			t.Fatalf("panic %v, want ErrChecksum", r)
+		}
+	}()
+	re.ReadBlocks([]PageID{id}, [][]byte{make([]byte, 128)})
+}
+
+// --- MmapBackend ---
+
+func newMmapFixture(t *testing.T, blockSize, pages int) (*MmapBackend, []PageID) {
+	t.Helper()
+	fb, err := CreateFile(tempIndex(t), blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]PageID, pages)
+	for i := range ids {
+		ids[i] = fb.Alloc()
+		fb.Write(ids[i], bytes.Repeat([]byte{byte(i + 1)}, blockSize))
+	}
+	if err := fb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMmap(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, ids
+}
+
+func TestMmapReadsMatchFileReads(t *testing.T) {
+	m, ids := newMmapFixture(t, 256, 10)
+	for _, id := range ids {
+		got := make([]byte, 256)
+		m.Read(id, got)
+		want := make([]byte, 256)
+		m.Unwrap().Read(id, want)
+		if !bytes.Equal(got, want) {
+			t.Errorf("mmap Read of page %d diverges", id)
+		}
+		if sv, ok := m.ReadStable(id); ok && !bytes.Equal(sv, want) {
+			t.Errorf("stable view of page %d diverges", id)
+		}
+	}
+	bufs := make([][]byte, len(ids))
+	for i := range bufs {
+		bufs[i] = make([]byte, 256)
+	}
+	m.ReadBlocks(ids, bufs)
+	for i, id := range ids {
+		want := make([]byte, 256)
+		m.Unwrap().Read(id, want)
+		if !bytes.Equal(bufs[i], want) {
+			t.Errorf("mmap batched read of page %d diverges", id)
+		}
+	}
+}
+
+func TestMmapWriteCoherence(t *testing.T) {
+	m, ids := newMmapFixture(t, 128, 3)
+	id := ids[1]
+	if _, ok := m.ReadStable(id); !ok && m.Mapped() > int(id) {
+		t.Fatal("expected a stable view before the write")
+	}
+	m.Write(id, bytes.Repeat([]byte{0x7e}, 128))
+	got := make([]byte, 128)
+	m.Read(id, got)
+	if !bytes.Equal(got, bytes.Repeat([]byte{0x7e}, 128)) {
+		t.Fatal("read after write returned stale bytes")
+	}
+	if sv, ok := m.ReadStable(id); ok && !bytes.Equal(sv, got) {
+		t.Error("stable view is stale after the write (verify bit not cleared or mapping incoherent)")
+	}
+}
+
+func TestMmapStableViewsSuspendedDuringTx(t *testing.T) {
+	m, ids := newMmapFixture(t, 128, 3)
+	m.Begin()
+	if _, ok := m.ReadStable(ids[0]); ok {
+		t.Error("stable view served during an open transaction")
+	}
+	// Ordinary reads must still work and see the overlay.
+	m.Write(ids[0], bytes.Repeat([]byte{3}, 128))
+	got := make([]byte, 128)
+	m.Read(ids[0], got)
+	if got[0] != 3 {
+		t.Errorf("in-tx read sees %d, want overlay 3", got[0])
+	}
+	m.Rollback()
+	if m.Mapped() > 0 {
+		if _, ok := m.ReadStable(ids[0]); !ok {
+			t.Error("stable views did not resume after the transaction")
+		}
+	}
+}
+
+func TestMmapGrowthNeedsRemap(t *testing.T) {
+	m, ids := newMmapFixture(t, 128, 2)
+	before := m.Mapped()
+	id := m.Alloc()
+	m.Write(id, bytes.Repeat([]byte{0x42}, 128))
+	// The new page is beyond the mapping until a Sync (or Remap).
+	got := make([]byte, 128)
+	m.Read(id, got)
+	if got[0] != 0x42 {
+		t.Fatalf("read of page beyond the mapping = %d, want 0x42 via file fallback", got[0])
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() <= before && m.Mapped() != 0 {
+		t.Errorf("mapping did not grow after Sync: %d -> %d pages", before, m.Mapped())
+	}
+	m.Read(ids[0], got)
+	if got[0] != 1 {
+		t.Errorf("old page unreadable after remap: %d", got[0])
+	}
+}
+
+func TestMmapChecksumVerifiedOnce(t *testing.T) {
+	blockSize := 128
+	path := tempIndex(t)
+	fb, err := CreateFile(path, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fb.Alloc()
+	fb.Write(id, bytes.Repeat([]byte{6}, blockSize))
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptPageByte(t, path, blockSize, id)
+	m, err := OpenMmap(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Abandon()
+	if m.Mapped() == 0 {
+		t.Skip("no mapping on this platform")
+	}
+	func() {
+		defer func() {
+			r := recover()
+			err, ok := r.(error)
+			if !ok || !errors.Is(err, ErrChecksum) {
+				t.Fatalf("stable read of corrupt page: panic %v, want ErrChecksum", r)
+			}
+		}()
+		m.ReadStable(id)
+		t.Fatal("stable read of corrupt page did not panic")
+	}()
+}
+
+// Abandon releases the mmap wrapper without the header rewrite Close does
+// (mirrors FileBackend.Abandon for tests holding corrupt files).
+func (m *MmapBackend) Abandon() {
+	m.fb.Abandon()
+}
+
+// corruptPageByte flips one data byte of page id in a closed index file.
+func corruptPageByte(t *testing.T, path string, blockSize int, id PageID) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	slot := int64(blockSize + pageTrailerSize)
+	off := int64(blockSize) + int64(id)*slot + 10
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+)
+
+// MmapBackend serves reads of a FileBackend's page file out of a read-only
+// shared memory mapping: a page view is a slice of the mapping — no read
+// buffer, no copy, no syscall — which feeds the tree's zero-copy nodeView
+// directly through the StableReader capability. Writes, allocation,
+// transactions, durability and recovery all delegate to the wrapped
+// FileBackend; MAP_SHARED keeps the mapping coherent with its pwrites.
+//
+// Checksum discipline: a version-2 page's CRC32C trailer is verified once
+// per mapped page on first touch, and the page's verified bit is cleared by
+// every write (and wholesale at commit), so corruption is still caught
+// exactly once per distinct content — not once per read, the cost the
+// pread path pays on every miss.
+//
+// The mapping covers the file's extent at open (or the last Remap). Pages
+// whose slot lies beyond it — allocated after the map was taken — fall back
+// to the FileBackend's verified pread path; Sync remaps after its
+// checkpoint so a freshly bulk-loaded file becomes fully mapped. On
+// platforms without mmap (the portable build) every read delegates, so the
+// backend is always safe to use, just not zero-copy.
+type MmapBackend struct {
+	fb *FileBackend
+
+	// mapMu guards remapping (mapped/mapPages/verified swaps); page reads
+	// take it RLocked so a concurrent Remap cannot unmap under them.
+	mapMu    sync.RWMutex
+	mapped   []byte
+	mapPages int
+	verified []atomic.Uint32 // one bit per mapped page: trailer checked
+}
+
+// OpenMmap opens an existing page file (recovering from its WAL exactly as
+// OpenFile does) and maps it for zero-copy reads. On platforms without
+// mmap the backend still works through ordinary preads.
+func OpenMmap(path string, expectBlockSize int) (*MmapBackend, error) {
+	fb, err := OpenFile(path, expectBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	m := &MmapBackend{fb: fb}
+	if err := m.remap(); err != nil {
+		fb.Close()
+		return nil, fmt.Errorf("storage: mmap %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// NewMmap wraps an already-open FileBackend with a mapping. The caller
+// must not close fb directly; Close goes through the wrapper.
+func NewMmap(fb *FileBackend) (*MmapBackend, error) {
+	m := &MmapBackend{fb: fb}
+	if err := m.remap(); err != nil {
+		return nil, fmt.Errorf("storage: mmap %s: %w", fb.path, err)
+	}
+	return m, nil
+}
+
+// Unwrap exposes the wrapped FileBackend to AsFile, so durability tooling
+// (fsck, recovery info, WAL stats) keeps working through the wrapper.
+func (m *MmapBackend) Unwrap() Backend { return m.fb }
+
+// Mapped reports how many pages the current mapping covers; reads beyond
+// it (or on platforms without mmap, where this is 0) use preads.
+func (m *MmapBackend) Mapped() int {
+	m.mapMu.RLock()
+	defer m.mapMu.RUnlock()
+	return m.mapPages
+}
+
+// remap (re)takes the mapping over the file's current extent.
+func (m *MmapBackend) remap() error {
+	m.fb.mu.RLock()
+	st, err := m.fb.f.Stat()
+	m.fb.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	data, err := mapFile(m.fb.f, st.Size())
+	if err != nil {
+		return err
+	}
+	m.mapMu.Lock()
+	old := m.mapped
+	m.mapped = data
+	// Only pages whose full slot (block + trailer) lies inside the mapping
+	// are served from it.
+	m.mapPages = 0
+	if data != nil {
+		m.mapPages = int((int64(len(data)) - int64(m.fb.blockSize)) / int64(m.fb.slotSize))
+		if m.mapPages < 0 {
+			m.mapPages = 0
+		}
+	}
+	m.verified = make([]atomic.Uint32, (m.mapPages+31)/32)
+	m.mapMu.Unlock()
+	if old != nil {
+		unmapFile(old)
+	}
+	return nil
+}
+
+// Remap extends the mapping over pages appended since open; it is safe to
+// call between queries (not concurrently with reads of soon-stale views).
+func (m *MmapBackend) Remap() error { return m.remap() }
+
+// stableView returns the mapped view of page id after first-touch
+// verification, or ok=false when the page must be read through the file
+// (beyond the mapping, inside an open transaction, or no mapping at all).
+// The caller must hold m.mapMu.RLock and fb.mu.RLock.
+func (m *MmapBackend) stableView(id PageID) ([]byte, bool) {
+	if int(id) >= m.mapPages {
+		return nil, false
+	}
+	if m.fb.tx != nil {
+		// A transaction overlay may hide this page; the pread path
+		// consults it. Stable views resume once the transaction ends.
+		return nil, false
+	}
+	off := int(m.fb.offset(id))
+	data := m.mapped[off : off+m.fb.blockSize : off+m.fb.blockSize]
+	if err := m.verifyOnce(id, data, off); err != nil {
+		panic(err)
+	}
+	return data, true
+}
+
+// verifyOnce checks page id's CRC32C trailer against the mapped bytes the
+// first time the page is touched since its last write. Caller holds the
+// locks stableView documents.
+func (m *MmapBackend) verifyOnce(id PageID, data []byte, off int) error {
+	if m.fb.version < 2 {
+		return nil
+	}
+	word, bit := int(id)/32, uint32(1)<<(uint(id)%32)
+	if m.verified[word].Load()&bit != 0 {
+		return nil
+	}
+	tr := m.mapped[off+m.fb.blockSize : off+m.fb.blockSize+pageTrailerSize]
+	want := binary.LittleEndian.Uint32(tr[0:4])
+	dataLen := int(binary.LittleEndian.Uint32(tr[4:8]))
+	if dataLen > m.fb.blockSize {
+		return fmt.Errorf("storage: page %d: %w: trailer claims %d bytes in a %d-byte block",
+			id, ErrChecksum, dataLen, m.fb.blockSize)
+	}
+	if got := crc32.Checksum(data[:dataLen], castagnoli); got != want {
+		return fmt.Errorf("storage: page %d: %w: stored %08x, computed %08x over %d bytes",
+			id, ErrChecksum, want, got, dataLen)
+	}
+	m.verified[word].Or(bit)
+	return nil
+}
+
+// clearVerified drops page id's verified bit so the next stable read
+// re-checks the (re)written content.
+func (m *MmapBackend) clearVerified(id PageID) {
+	m.mapMu.RLock()
+	if int(id) < m.mapPages {
+		m.verified[int(id)/32].And(^(uint32(1) << (uint(id) % 32)))
+	}
+	m.mapMu.RUnlock()
+}
+
+// ReadStable implements StableReader: the zero-copy demand read.
+func (m *MmapBackend) ReadStable(id PageID) ([]byte, bool) {
+	m.mapMu.RLock()
+	defer m.mapMu.RUnlock()
+	m.fb.mu.RLock()
+	defer m.fb.mu.RUnlock()
+	m.fb.checkIDLocked(id)
+	return m.stableView(id)
+}
+
+// Read implements Backend, copying from the mapping when possible and
+// delegating to the file's verified pread path otherwise.
+func (m *MmapBackend) Read(id PageID, buf []byte) int {
+	m.mapMu.RLock()
+	m.fb.mu.RLock()
+	m.fb.checkIDLocked(id)
+	if data, ok := m.stableView(id); ok {
+		n := copy(buf, data)
+		m.fb.mu.RUnlock()
+		m.mapMu.RUnlock()
+		return n
+	}
+	m.fb.mu.RUnlock()
+	m.mapMu.RUnlock()
+	return m.fb.Read(id, buf)
+}
+
+// ReadNoCopy implements Backend; for mapped pages the view really is
+// no-copy, unlike the FileBackend's private-copy fallback.
+func (m *MmapBackend) ReadNoCopy(id PageID) []byte {
+	if data, ok := m.ReadStable(id); ok {
+		return data
+	}
+	return m.fb.ReadNoCopy(id)
+}
+
+// PeekNoCopy implements Backend: uncounted and, like the FileBackend's
+// peek, deliberately unverified — it must not panic on corrupt content.
+func (m *MmapBackend) PeekNoCopy(id PageID) []byte {
+	m.mapMu.RLock()
+	m.fb.mu.RLock()
+	if int(id) < m.mapPages && m.fb.tx == nil && int(id) < m.fb.numPages {
+		off := int(m.fb.offset(id))
+		data := m.mapped[off : off+m.fb.blockSize : off+m.fb.blockSize]
+		m.fb.mu.RUnlock()
+		m.mapMu.RUnlock()
+		return data
+	}
+	m.fb.mu.RUnlock()
+	m.mapMu.RUnlock()
+	return m.fb.PeekNoCopy(id)
+}
+
+// ReadBlocks implements BlockReader: mapped pages are copied out of the
+// mapping (after first-touch verification), the rest go through the file
+// backend's vectored pread path.
+func (m *MmapBackend) ReadBlocks(ids []PageID, bufs [][]byte) {
+	rest := -1 // first index that needed the file path, batched below
+	var restIDs []PageID
+	var restBufs [][]byte
+	m.mapMu.RLock()
+	m.fb.mu.RLock()
+	for i, id := range ids {
+		m.fb.checkIDLocked(id)
+		if data, ok := m.stableView(id); ok {
+			copy(bufs[i], data)
+			continue
+		}
+		if rest < 0 {
+			rest = i
+		}
+		restIDs = append(restIDs, id)
+		restBufs = append(restBufs, bufs[i])
+	}
+	m.fb.mu.RUnlock()
+	m.mapMu.RUnlock()
+	if rest >= 0 {
+		m.fb.ReadBlocks(restIDs, restBufs)
+	}
+}
+
+// ReadBlocksSpeculative implements SpeculativeReader; physically identical
+// to ReadBlocks (the accounting difference lives in decorators). For
+// mapped pages the useful speculative work is the first-touch fault and
+// checksum verification, both done here ahead of the demand access.
+func (m *MmapBackend) ReadBlocksSpeculative(ids []PageID, bufs [][]byte) {
+	m.ReadBlocks(ids, bufs)
+}
+
+// Write implements Backend, delegating and re-arming verification for the
+// written page (MAP_SHARED keeps the mapped bytes themselves coherent).
+func (m *MmapBackend) Write(id PageID, data []byte) {
+	m.fb.Write(id, data)
+	m.clearVerified(id)
+}
+
+// BlockSize implements Backend.
+func (m *MmapBackend) BlockSize() int { return m.fb.BlockSize() }
+
+// NumPages implements Backend.
+func (m *MmapBackend) NumPages() int { return m.fb.NumPages() }
+
+// PagesInUse implements Backend.
+func (m *MmapBackend) PagesInUse() int { return m.fb.PagesInUse() }
+
+// Alloc implements Backend; pages beyond the mapping read via preads.
+func (m *MmapBackend) Alloc() PageID { return m.fb.Alloc() }
+
+// Free implements Backend.
+func (m *MmapBackend) Free(id PageID) { m.fb.Free(id) }
+
+// SetMeta implements Backend.
+func (m *MmapBackend) SetMeta(meta []byte) { m.fb.SetMeta(meta) }
+
+// Meta implements Backend.
+func (m *MmapBackend) Meta() []byte { return m.fb.Meta() }
+
+// Begin implements Transactional. While a transaction is open, stable
+// views are suspended (the overlay could hide mapped bytes); they resume
+// at Commit/Rollback.
+func (m *MmapBackend) Begin() { m.fb.Begin() }
+
+// Commit implements Transactional. Committed redo images reach the file
+// via pwrites the mapping observes; every verified bit is dropped so first
+// touches re-check the new content.
+func (m *MmapBackend) Commit() error {
+	err := m.fb.Commit()
+	m.mapMu.RLock()
+	for i := range m.verified {
+		m.verified[i].Store(0)
+	}
+	m.mapMu.RUnlock()
+	return err
+}
+
+// Rollback implements Transactional.
+func (m *MmapBackend) Rollback() { m.fb.Rollback() }
+
+// Sync implements Backend: checkpoint, then remap so pages appended since
+// the last map become zero-copy too.
+func (m *MmapBackend) Sync() error {
+	if err := m.fb.Sync(); err != nil {
+		return err
+	}
+	return m.remap()
+}
+
+// Close implements Backend, unmapping before the file closes.
+func (m *MmapBackend) Close() error {
+	err := m.fb.Close()
+	m.mapMu.Lock()
+	if m.mapped != nil {
+		unmapFile(m.mapped)
+		m.mapped = nil
+		m.mapPages = 0
+	}
+	m.mapMu.Unlock()
+	return err
+}

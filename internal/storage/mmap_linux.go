@@ -1,0 +1,26 @@
+//go:build linux
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared, so pwrites through
+// the same file are observed by the mapping. A zero-length file maps to
+// nil (every read falls back to preads).
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func unmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package storage
+
+import "os"
+
+// mapFile on platforms without the Linux mmap path maps nothing: the
+// MmapBackend stays fully functional, serving every read through the
+// FileBackend's verified pread path instead of zero-copy views.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, nil
+}
+
+func unmapFile(data []byte) {}

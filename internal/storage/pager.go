@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -19,7 +20,7 @@ import (
 // never substitute for Read — callers still Read first, so hit/miss and
 // block-I/O accounting are unaffected — they only skip re-parsing bytes
 // already resident. Entries are dropped whenever the bytes they were parsed
-// from change or leave the cache: on Write, Invalidate, DropCache and LRU
+// from change or leave the cache: on Write, Invalidate, DropCache and
 // eviction.
 //
 // # Concurrency
@@ -44,18 +45,98 @@ import (
 // and disabled (capacity 0) pagers never evict, so striping cannot change
 // which accesses hit: serial accounting is bit-identical to the previous
 // global-LRU implementation, and Figures 9-12 are unaffected. A bounded
-// pager (capacity > 0) needs a global LRU order to keep its documented
+// pager (capacity > 0) needs a global eviction order to keep its documented
 // exact eviction sequence, so it runs as a single shard under one lock —
 // still safe under concurrency, but serialized; bounded caches exist for
-// the cache-ablation experiments, not the throughput path.
+// cache-pressure work (the cachesweep experiment, ablations), not the
+// unbounded throughput path. Bounded eviction is pluggable via
+// PagerOptions.Policy: exact LRU (the default, byte-for-byte the historical
+// order) or S3-FIFO (small/main/ghost queues, scan-resistant).
+//
+// # Prefetch
+//
+// With PagerOptions.Prefetch enabled (and a backend implementing
+// SpeculativeReader), Prefetch(ids) hands hint batches to a small worker
+// pool that fetches them speculatively — via the backend's batched
+// ReadBlocksSpeculative, one vectored syscall per consecutive run on the
+// file backend — into a bounded staging area outside the cache proper.
+// Staging, not caching, is what keeps the paper's accounting honest: the
+// cache's content and eviction sequence remain exactly those of a
+// no-prefetch run at any capacity and policy, because a staged page enters
+// the cache only at the moment a demand miss consumes it, at which point
+// the miss is counted and one demand read is charged through the
+// DemandAccounter chain (no physical I/O — the bytes are already here).
+// Speculative fetches themselves are tallied apart as Stats.PrefetchReads.
+// Demand misses that find a fetch in flight wait for it (single-flight
+// dedup) instead of issuing a duplicate read.
 type Pager struct {
 	dev      Backend
 	capacity int // max unpinned cached pages; <0 means unbounded, 0 disables
+	policy   EvictionPolicy
 	shards   []pagerShard
 	mask     uint32
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	stable StableReader    // non-nil when dev offers zero-copy stable views
+	acct   DemandAccounter // non-nil when dev can be charged promoted reads
+	pf     *prefetcher     // non-nil when prefetch is enabled
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	pfUsed    atomic.Uint64
+}
+
+// EvictionPolicy selects how a bounded pager chooses eviction victims.
+type EvictionPolicy uint8
+
+const (
+	// EvictLRU is the exact global least-recently-used order the pager has
+	// always used; bounded-cache accounting is byte-identical to it.
+	EvictLRU EvictionPolicy = iota
+	// EvictS3FIFO is the S3-FIFO policy (Yang et al., HotOS'23): a small
+	// probationary FIFO absorbs one-hit wonders, a main FIFO with lazy
+	// promotion holds the working set, and a ghost queue of recently
+	// evicted probationary ids readmits pages that prove themselves —
+	// scan-resistant where LRU lets a bulk sweep flush hot internal nodes.
+	EvictS3FIFO
+)
+
+// String implements fmt.Stringer.
+func (e EvictionPolicy) String() string {
+	switch e {
+	case EvictLRU:
+		return "lru"
+	case EvictS3FIFO:
+		return "s3fifo"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(e))
+}
+
+// ParseEvictionPolicy maps the tool-facing names onto policies.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	switch s {
+	case "lru":
+		return EvictLRU, nil
+	case "s3fifo":
+		return EvictS3FIFO, nil
+	}
+	return 0, fmt.Errorf("storage: unknown eviction policy %q (want lru or s3fifo)", s)
+}
+
+// PagerOptions configures NewPagerWith beyond the capacity knob.
+type PagerOptions struct {
+	// Capacity bounds unpinned cached pages: <0 unbounded, 0 disables
+	// caching, >0 exact bounded cache.
+	Capacity int
+	// Policy selects the bounded-cache eviction policy; unbounded and
+	// disabled caches never evict, so it only matters when Capacity > 0.
+	Policy EvictionPolicy
+	// Prefetch enables the speculative read-ahead machinery. It requires a
+	// backend implementing SpeculativeReader (all in-tree backends do);
+	// otherwise Prefetch hints are ignored.
+	Prefetch bool
+	// PrefetchWorkers sizes the prefetch worker pool; 0 means default (2).
+	PrefetchWorkers int
 }
 
 // pagerShardCount is the stripe width for unbounded and capacity-0 pagers.
@@ -64,47 +145,85 @@ const pagerShardCount = 16
 
 type pagerShard struct {
 	mu      sync.RWMutex
-	lru     *list.List // LRU order over entries; maintained only when bounded
+	evict   evictor // victim order over entries; non-nil only when bounded
 	entries map[PageID]*cacheEntry
 	pinned  map[PageID][]byte
-	decoded map[PageID]interface{}
+	// stablePins marks pinned pages whose bytes are zero-copy stable views
+	// (mmap): coherent with Writes on their own and never written through.
+	stablePins map[PageID]struct{}
+	decoded    map[PageID]interface{}
 }
 
 // cacheEntry is one unpinned cached page. In bounded pagers data is always
-// filled under the shard lock and elem records the LRU position. In
+// filled under the shard lock and the evictor tracks its position. In
 // unbounded pagers an entry may be in flight: ready is closed once data is
 // published, and readers that found the entry wait on it off-lock.
 type cacheEntry struct {
-	id    PageID
-	data  []byte
-	elem  *list.Element // LRU position; nil in unbounded shards
-	ready chan struct{} // nil in bounded shards (filled synchronously)
+	id     PageID
+	data   []byte
+	stable bool          // data is a zero-copy stable view; never write into it
+	ready  chan struct{} // nil in bounded shards (filled synchronously)
+
+	// Evictor state (bounded shards only): the entry's position in the
+	// policy's queue (LRU list, or the s3fifo queue named by s3Queue) and
+	// the s3fifo saturating access counter.
+	elem    *list.Element
+	s3Queue uint8
+	s3Freq  uint8
 }
 
 // NewPager returns a pager over a backend whose cache holds at most
 // capacity unpinned pages. capacity 0 disables unpinned caching entirely;
-// a negative capacity means "unbounded".
+// a negative capacity means "unbounded". The eviction policy is LRU and
+// prefetch is off; use NewPagerWith for the full option surface.
 func NewPager(dev Backend, capacity int) *Pager {
+	return NewPagerWith(dev, PagerOptions{Capacity: capacity})
+}
+
+// NewPagerWith returns a pager configured by opt.
+func NewPagerWith(dev Backend, opt PagerOptions) *Pager {
 	nshards := pagerShardCount
-	if capacity > 0 {
-		// A bounded cache keeps the exact global LRU eviction order, which
-		// a striped cache cannot provide; it runs as a single shard.
+	if opt.Capacity > 0 {
+		// A bounded cache keeps an exact global eviction order, which a
+		// striped cache cannot provide; it runs as a single shard.
 		nshards = 1
 	}
 	p := &Pager{
 		dev:      dev,
-		capacity: capacity,
+		capacity: opt.Capacity,
+		policy:   opt.Policy,
 		shards:   make([]pagerShard, nshards),
 		mask:     uint32(nshards - 1),
 	}
+	if sr, ok := dev.(StableReader); ok {
+		p.stable = sr
+	}
+	if da, ok := dev.(DemandAccounter); ok {
+		p.acct = da
+	}
 	for i := range p.shards {
 		s := &p.shards[i]
-		if capacity > 0 {
-			s.lru = list.New() // only the bounded single shard keeps LRU order
+		if opt.Capacity > 0 {
+			switch opt.Policy {
+			case EvictS3FIFO:
+				s.evict = newS3FIFO(opt.Capacity)
+			default:
+				s.evict = newLRUEvictor()
+			}
 		}
 		s.entries = make(map[PageID]*cacheEntry)
 		s.pinned = make(map[PageID][]byte)
+		s.stablePins = make(map[PageID]struct{})
 		s.decoded = make(map[PageID]interface{})
+	}
+	if opt.Prefetch {
+		if sr, ok := dev.(SpeculativeReader); ok {
+			workers := opt.PrefetchWorkers
+			if workers <= 0 {
+				workers = defaultPrefetchWorkers
+			}
+			p.pf = newPrefetcher(p, sr, workers)
+		}
 	}
 	return p
 }
@@ -114,11 +233,50 @@ func (p *Pager) shard(id PageID) *pagerShard { return &p.shards[uint32(id)&p.mas
 // Backend returns the underlying device.
 func (p *Pager) Backend() Backend { return p.dev }
 
+// Policy returns the configured eviction policy.
+func (p *Pager) Policy() EvictionPolicy { return p.policy }
+
+// PrefetchEnabled reports whether Prefetch hints are acted upon.
+func (p *Pager) PrefetchEnabled() bool { return p.pf != nil }
+
+// Close releases the pager's background resources (the prefetch worker
+// pool); the pager must not be used after Close. Pagers without prefetch
+// need no Close, which keeps every historical call site valid.
+func (p *Pager) Close() {
+	if p.pf != nil {
+		p.pf.close()
+	}
+}
+
 // Disk returns the underlying in-memory Disk when the backend is (or
 // wraps) one, and nil otherwise.
 //
 // Deprecated: use Backend; Disk exists for simulator-specific tests.
 func (p *Pager) Disk() *Disk { d, _ := AsDisk(p.dev); return d }
+
+// fetchDemand obtains page id's bytes for a counted demand miss, in cost
+// order: consume a staged prefetched copy (charging the demand read the
+// paper's accounting expects, with no physical I/O), take a zero-copy
+// stable view, or fall back to an allocated buffer filled by one Read.
+func (p *Pager) fetchDemand(id PageID) (data []byte, stable bool) {
+	if p.pf != nil {
+		if d, ok := p.pf.take(id); ok {
+			if p.acct != nil {
+				p.acct.AccountDemandReads(1)
+			}
+			p.pfUsed.Add(1)
+			return d, false
+		}
+	}
+	if p.stable != nil {
+		if d, ok := p.stable.ReadStable(id); ok {
+			return d, true
+		}
+	}
+	d := make([]byte, p.dev.BlockSize())
+	p.dev.Read(id, d)
+	return d, false
+}
 
 // Read returns the contents of page id, fetching from disk (and counting
 // one block read) only on a cache miss. The returned slice is shared with
@@ -130,7 +288,7 @@ func (p *Pager) Read(id PageID) []byte {
 	return p.readStriped(id)
 }
 
-// readBounded is the single-shard exact-LRU read path of bounded pagers.
+// readBounded is the single-shard exact-order read path of bounded pagers.
 func (p *Pager) readBounded(id PageID) []byte {
 	s := &p.shards[0]
 	s.mu.Lock()
@@ -141,14 +299,13 @@ func (p *Pager) readBounded(id PageID) []byte {
 	}
 	if ce, ok := s.entries[id]; ok {
 		p.hits.Add(1)
-		s.lru.MoveToFront(ce.elem)
+		s.evict.touch(ce)
 		return ce.data
 	}
 	p.misses.Add(1)
-	data := make([]byte, p.dev.BlockSize())
-	p.dev.Read(id, data)
-	ce := &cacheEntry{id: id, data: data}
-	ce.elem = s.lru.PushFront(ce)
+	data, stable := p.fetchDemand(id)
+	ce := &cacheEntry{id: id, data: data, stable: stable}
+	s.evict.insert(ce)
 	s.entries[id] = ce
 	p.evictLocked(s)
 	return data
@@ -180,11 +337,11 @@ func (p *Pager) readStriped(id PageID) []byte {
 		break
 	}
 	if p.capacity == 0 {
-		// Caching disabled: every unpinned access reads the disk, exactly
-		// as it would serially.
+		// Caching disabled: every unpinned access is a miss, exactly as it
+		// would be serially; a staged prefetched copy still satisfies it
+		// (charged as the demand read it replaces).
 		p.misses.Add(1)
-		data := make([]byte, p.dev.BlockSize())
-		p.dev.Read(id, data)
+		data, _ := p.fetchDemand(id)
 		return data
 	}
 	for {
@@ -212,15 +369,15 @@ func (p *Pager) readStriped(id PageID) []byte {
 	}
 }
 
-// fill performs the single disk read of a missed page off-lock — exactly
+// fill performs the single demand fetch of a missed page off-lock — exactly
 // one per distinct missed page, with other shards readable meanwhile — and
 // publishes the bytes under the shard lock so lock-holding readers (Pin,
-// Write) observe them safely. If the disk read panics (e.g. an out-of-range
+// Write) observe them safely. If the fetch panics (e.g. an out-of-range
 // page id), the in-flight entry is removed and waiters are released to
 // retry and surface the same panic, instead of blocking forever.
 func (p *Pager) fill(s *pagerShard, ce *cacheEntry) []byte {
 	defer func() {
-		if ce.data == nil { // disk read panicked; unblock waiters
+		if ce.data == nil { // fetch panicked; unblock waiters
 			s.mu.Lock()
 			if s.entries[ce.id] == ce {
 				delete(s.entries, ce.id)
@@ -229,10 +386,10 @@ func (p *Pager) fill(s *pagerShard, ce *cacheEntry) []byte {
 		}
 		close(ce.ready)
 	}()
-	data := make([]byte, p.dev.BlockSize())
-	p.dev.Read(ce.id, data)
+	data, stable := p.fetchDemand(ce.id)
 	s.mu.Lock()
 	ce.data = data
+	ce.stable = stable
 	s.mu.Unlock()
 	return data
 }
@@ -259,10 +416,13 @@ func (p *Pager) Pin(id PageID) {
 		if ce, ok := s.entries[id]; ok {
 			if ce.data != nil {
 				delete(s.entries, id)
-				if ce.elem != nil {
-					s.lru.Remove(ce.elem)
+				if s.evict != nil {
+					s.evict.remove(ce)
 				}
 				s.pinned[id] = ce.data
+				if ce.stable {
+					s.stablePins[id] = struct{}{}
+				}
 				s.mu.Unlock()
 				return
 			}
@@ -277,9 +437,11 @@ func (p *Pager) Pin(id PageID) {
 			// Bounded single-shard mode: load under the lock, exactly as
 			// the pre-striping pager did (in-flight entries must never be
 			// visible to readBounded, which assumes filled entries).
-			data := make([]byte, p.dev.BlockSize())
-			p.dev.Read(id, data)
+			data, stable := p.fetchDemand(id)
 			s.pinned[id] = data
+			if stable {
+				s.stablePins[id] = struct{}{}
+			}
 			s.mu.Unlock()
 			return
 		}
@@ -305,6 +467,7 @@ func (p *Pager) Unpin(id PageID) {
 		return
 	}
 	delete(s.pinned, id)
+	delete(s.stablePins, id)
 	delete(s.decoded, id)
 }
 
@@ -337,18 +500,26 @@ func (p *Pager) StoreDecoded(id PageID, v interface{}) {
 
 // Write stores data to page id on disk and refreshes any cached copy. The
 // decoded entry, parsed from the overwritten bytes, is dropped; callers
-// writing an already-materialized form may StoreDecoded it again.
+// writing an already-materialized form may StoreDecoded it again. Stable
+// (mapped) views are never written into — the backend's own write keeps
+// them coherent. Any staged prefetched copy is discarded: it predates the
+// write.
 func (p *Pager) Write(id PageID, data []byte) {
 	s := p.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.decoded, id)
+	if p.pf != nil {
+		p.pf.invalidate(id)
+	}
 	p.dev.Write(id, data)
 	if pd, ok := s.pinned[id]; ok {
-		refreshCopy(pd, data)
+		if _, stable := s.stablePins[id]; !stable {
+			refreshCopy(pd, data)
+		}
 		return
 	}
-	if ce, ok := s.entries[id]; ok && ce.data != nil {
+	if ce, ok := s.entries[id]; ok && ce.data != nil && !ce.stable {
 		refreshCopy(ce.data, data)
 	}
 }
@@ -362,34 +533,43 @@ func refreshCopy(dst, data []byte) {
 	}
 }
 
-// Invalidate drops any cached copy of page id (bytes and decoded form)
-// without touching the disk.
+// Invalidate drops any cached copy of page id (bytes, staged prefetch and
+// decoded form) without touching the disk.
 func (p *Pager) Invalidate(id PageID) {
 	s := p.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.decoded, id)
 	delete(s.pinned, id)
+	delete(s.stablePins, id)
+	if p.pf != nil {
+		p.pf.invalidate(id)
+	}
 	if ce, ok := s.entries[id]; ok {
-		if ce.elem != nil {
-			s.lru.Remove(ce.elem)
+		if s.evict != nil {
+			s.evict.remove(ce)
 		}
 		delete(s.entries, id)
 	}
 }
 
-// DropCache empties the cache, the pin set and the decoded cache.
+// DropCache empties the cache, the pin set, the decoded cache and the
+// prefetch staging area.
 func (p *Pager) DropCache() {
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
-		if s.lru != nil {
-			s.lru.Init()
+		if s.evict != nil {
+			s.evict.reset()
 		}
 		s.entries = make(map[PageID]*cacheEntry)
 		s.pinned = make(map[PageID][]byte)
+		s.stablePins = make(map[PageID]struct{})
 		s.decoded = make(map[PageID]interface{})
 		s.mu.Unlock()
+	}
+	if p.pf != nil {
+		p.pf.dropAll()
 	}
 }
 
@@ -397,6 +577,50 @@ func (p *Pager) DropCache() {
 // call while queries run; the two counters are loaded independently.
 func (p *Pager) HitRate() (hits, misses uint64) {
 	return p.hits.Load(), p.misses.Load()
+}
+
+// CacheStats is the pager's cumulative cache-behavior snapshot.
+type CacheStats struct {
+	Hits      uint64 // reads served from the cache or pin set
+	Misses    uint64 // reads that had to fetch (or consume a staged page)
+	Evictions uint64 // entries evicted from a bounded cache
+
+	PrefetchIssued uint64 // pages speculatively fetched by the prefetcher
+	PrefetchUsed   uint64 // staged pages later consumed by a demand miss
+
+	Resident int            // currently resident pages (pinned + cached)
+	Capacity int            // configured capacity (<0 unbounded, 0 disabled)
+	Policy   EvictionPolicy // configured eviction policy
+}
+
+// HitRatio returns hits / (hits + misses), or 0 with no traffic.
+func (cs CacheStats) HitRatio() float64 {
+	total := cs.Hits + cs.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(total)
+}
+
+// CacheStats returns the pager's counters; safe during concurrent reads.
+func (p *Pager) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		Evictions:      p.evictions.Load(),
+		PrefetchIssued: p.prefetchIssued(),
+		PrefetchUsed:   p.pfUsed.Load(),
+		Resident:       p.CachedPages(),
+		Capacity:       p.capacity,
+		Policy:         p.policy,
+	}
+}
+
+func (p *Pager) prefetchIssued() uint64 {
+	if p.pf == nil {
+		return 0
+	}
+	return p.pf.issued.Load()
 }
 
 // CachedPages returns the number of resident pages (pinned + cached).
@@ -413,11 +637,13 @@ func (p *Pager) CachedPages() int {
 
 // evictLocked trims the bounded shard to capacity; the caller holds its lock.
 func (p *Pager) evictLocked(s *pagerShard) {
-	for s.lru.Len() > p.capacity {
-		el := s.lru.Back()
-		ce := el.Value.(*cacheEntry)
-		s.lru.Remove(el)
+	for s.evict.len() > p.capacity {
+		ce := s.evict.victim()
+		if ce == nil {
+			return
+		}
 		delete(s.entries, ce.id)
 		delete(s.decoded, ce.id)
+		p.evictions.Add(1)
 	}
 }

@@ -1,0 +1,73 @@
+//go:build linux
+
+package storage
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// preadvSupported gates the vectored-read fast path in ReadBlocks.
+const preadvSupported = true
+
+// preadvFull reads into the iovec list from f at offset off using the
+// preadv(2) syscall, retrying on EINTR and continuing after partial reads
+// until the list is full or EOF. It returns the total bytes read and
+// whether the vectored path succeeded; ok=false means the caller must fall
+// back to ordinary preads (nothing is guaranteed about buffer contents).
+func preadvFull(f *os.File, iovs [][]byte, off int64) (int, bool) {
+	total := 0
+	want := 0
+	for _, iov := range iovs {
+		want += len(iov)
+	}
+	// remaining views advance across partial reads without copying.
+	rem := make([][]byte, len(iovs))
+	copy(rem, iovs)
+	for total < want {
+		for len(rem) > 0 && len(rem[0]) == 0 {
+			rem = rem[1:]
+		}
+		if len(rem) == 0 {
+			break
+		}
+		vecs := make([]syscall.Iovec, len(rem))
+		for i, b := range rem {
+			vecs[i].Base = &b[0]
+			vecs[i].SetLen(len(b))
+		}
+		cur := off + int64(total)
+		// The raw syscall takes the offset split into low/high halves; on
+		// 64-bit the low word carries the whole offset and the kernel
+		// shifts the high word out of range.
+		n, _, errno := syscall.Syscall6(syscall.SYS_PREADV,
+			f.Fd(),
+			uintptr(unsafe.Pointer(&vecs[0])),
+			uintptr(len(vecs)),
+			uintptr(cur),
+			uintptr(uint64(cur)>>32),
+			0)
+		if errno == syscall.EINTR || errno == syscall.EAGAIN {
+			continue
+		}
+		if errno != 0 {
+			return 0, false
+		}
+		if n == 0 {
+			break // EOF
+		}
+		got := int(n)
+		total += got
+		for got > 0 {
+			if got >= len(rem[0]) {
+				got -= len(rem[0])
+				rem = rem[1:]
+			} else {
+				rem[0] = rem[0][got:]
+				got = 0
+			}
+		}
+	}
+	return total, true
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package storage
+
+import "os"
+
+// preadvSupported gates the vectored-read fast path in ReadBlocks; without
+// a platform preadv the batch read degrades to per-page preads with
+// identical semantics.
+const preadvSupported = false
+
+func preadvFull(f *os.File, iovs [][]byte, off int64) (int, bool) {
+	return 0, false
+}

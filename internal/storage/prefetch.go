@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// defaultPrefetchWorkers sizes the worker pool when PagerOptions leaves
+	// it zero. Two workers overlap speculative I/O with traversal without
+	// oversubscribing small machines.
+	defaultPrefetchWorkers = 2
+
+	// prefetchStageCap bounds the staging area (pages). At the default 4 KB
+	// block size this is 1 MB of read-ahead; hints beyond it are dropped —
+	// prefetch is best-effort by design.
+	prefetchStageCap = 256
+
+	// prefetchQueueCap bounds pending hint batches; a full queue drops new
+	// hints rather than stalling the query that issued them.
+	prefetchQueueCap = 16
+)
+
+// prefetcher fills speculative hint batches into a bounded staging area
+// that is deliberately separate from the pager's cache: staged pages enter
+// the cache only when a demand miss consumes them (Pager.fetchDemand), so
+// cache content, eviction order and demand I/O accounting are bit-identical
+// to a run without prefetch. See the Pager doc comment for the protocol.
+type prefetcher struct {
+	p      *Pager
+	dev    SpeculativeReader
+	queue  chan []PageID
+	wg     sync.WaitGroup
+	issued atomic.Uint64 // pages actually fetched speculatively
+
+	mu     sync.Mutex
+	closed bool
+	staged map[PageID]*stageEntry
+	fifo   []PageID // staging insertion order, for bounded discard
+}
+
+// stageEntry is one staged page: in flight until ready is closed, then
+// holding its bytes. stale marks entries invalidated by a write; their
+// bytes must never be served.
+type stageEntry struct {
+	data  []byte
+	ready chan struct{}
+	done  bool
+	stale bool
+}
+
+func newPrefetcher(p *Pager, dev SpeculativeReader, workers int) *prefetcher {
+	pf := &prefetcher{
+		p:      p,
+		dev:    dev,
+		queue:  make(chan []PageID, prefetchQueueCap),
+		staged: make(map[PageID]*stageEntry),
+	}
+	pf.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go pf.worker()
+	}
+	return pf
+}
+
+// Prefetch hints that the pages in ids are likely to be demanded soon.
+// The batch is copied (callers pass live traversal state), queued for the
+// worker pool, and dropped wholesale if the queue is full — hints are
+// advisory and must never block or slow the demand path. Without prefetch
+// enabled this is a no-op.
+func (p *Pager) Prefetch(ids []PageID) {
+	pf := p.pf
+	if pf == nil || len(ids) == 0 {
+		return
+	}
+	batch := make([]PageID, len(ids))
+	copy(batch, ids)
+	pf.mu.Lock()
+	if !pf.closed {
+		select {
+		case pf.queue <- batch:
+		default: // queue full: drop, best-effort
+		}
+	}
+	pf.mu.Unlock()
+}
+
+func (pf *prefetcher) worker() {
+	defer pf.wg.Done()
+	for batch := range pf.queue {
+		pf.fetch(batch)
+	}
+}
+
+// resident reports whether the pager already holds id (pinned, cached or
+// demand-fill in flight), making a speculative fetch pointless. Called
+// without pf.mu held — the shard lock must never nest inside it. It must
+// also never block: a bounded-pager demand miss waits on staged entries
+// while holding the shard write lock, so a blocking RLock here would
+// deadlock the worker against the very reader it is prefetching for.
+// When the lock is contended the answer is a conservative "resident",
+// which merely skips one best-effort speculative read.
+func (p *Pager) resident(id PageID) bool {
+	s := p.shard(id)
+	if !s.mu.TryRLock() {
+		return true
+	}
+	_, pinned := s.pinned[id]
+	_, cached := s.entries[id]
+	s.mu.RUnlock()
+	return pinned || cached
+}
+
+// fetch claims the batch's not-yet-staged, not-resident pages, performs one
+// speculative batched read for them, and publishes the bytes to waiting
+// demand misses. A panic out of the backend (checksum, out-of-range) drops
+// the claimed entries so demand readers retry on the demand path and
+// surface the same failure there.
+func (pf *prefetcher) fetch(batch []PageID) {
+	var claim []PageID
+	var entries []*stageEntry
+	for _, id := range batch {
+		if pf.p.resident(id) {
+			continue
+		}
+		pf.mu.Lock()
+		if _, ok := pf.staged[id]; ok {
+			pf.mu.Unlock()
+			continue
+		}
+		if len(pf.staged) >= prefetchStageCap && !pf.discardOldestLocked() {
+			pf.mu.Unlock()
+			break // staging full of in-flight entries; drop the rest
+		}
+		se := &stageEntry{ready: make(chan struct{})}
+		pf.staged[id] = se
+		pf.fifo = append(pf.fifo, id)
+		pf.mu.Unlock()
+		claim = append(claim, id)
+		entries = append(entries, se)
+	}
+	if len(claim) == 0 {
+		return
+	}
+	published := false
+	defer func() {
+		if published {
+			return
+		}
+		// The speculative read panicked: unstage and release waiters with
+		// no data (recovering here keeps the worker alive; the demand path
+		// will hit the same condition and surface it to the caller).
+		pf.mu.Lock()
+		for i, id := range claim {
+			if pf.staged[id] == entries[i] {
+				delete(pf.staged, id)
+			}
+			close(entries[i].ready)
+		}
+		pf.mu.Unlock()
+		_ = recover()
+	}()
+	bs := pf.p.dev.BlockSize()
+	flat := make([]byte, len(claim)*bs)
+	bufs := make([][]byte, len(claim))
+	for i := range bufs {
+		bufs[i] = flat[i*bs : (i+1)*bs : (i+1)*bs]
+	}
+	pf.dev.ReadBlocksSpeculative(claim, bufs)
+	pf.issued.Add(uint64(len(claim)))
+	pf.mu.Lock()
+	for i, id := range claim {
+		se := entries[i]
+		se.data = bufs[i]
+		se.done = true
+		if se.stale || pf.staged[id] != se {
+			// Invalidated (or replaced) while in flight: never serve it.
+			if pf.staged[id] == se {
+				delete(pf.staged, id)
+			}
+		}
+		close(se.ready)
+	}
+	pf.mu.Unlock()
+	published = true
+}
+
+// discardOldestLocked frees one staging slot by dropping the oldest filled,
+// unclaimed entry. It returns false when nothing is discardable (all
+// in-flight). Caller holds pf.mu.
+func (pf *prefetcher) discardOldestLocked() bool {
+	for i, id := range pf.fifo {
+		se, ok := pf.staged[id]
+		if ok && se.done {
+			delete(pf.staged, id)
+			pf.fifo = append(pf.fifo[:0], pf.fifo[i+1:]...)
+			return true
+		}
+		if !ok {
+			continue // already taken or discarded; compacted below
+		}
+	}
+	// Compact fifo of dead ids so it cannot grow without bound.
+	live := pf.fifo[:0]
+	for _, id := range pf.fifo {
+		if _, ok := pf.staged[id]; ok {
+			live = append(live, id)
+		}
+	}
+	pf.fifo = live
+	return false
+}
+
+// take hands a staged page to a demand miss: it waits for an in-flight
+// fetch (single-flight dedup against the demand read), removes the entry,
+// and returns its bytes. ok=false means the demand path must perform its
+// own read.
+func (pf *prefetcher) take(id PageID) ([]byte, bool) {
+	pf.mu.Lock()
+	se, ok := pf.staged[id]
+	pf.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	<-se.ready
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if pf.staged[id] != se || se.stale || se.data == nil {
+		return nil, false
+	}
+	delete(pf.staged, id)
+	return se.data, true
+}
+
+// invalidate marks any staged copy of id stale (a write made it obsolete).
+// Filled entries drop immediately; in-flight ones are dropped on publish.
+func (pf *prefetcher) invalidate(id PageID) {
+	pf.mu.Lock()
+	if se, ok := pf.staged[id]; ok {
+		se.stale = true
+		if se.done {
+			delete(pf.staged, id)
+		}
+	}
+	pf.mu.Unlock()
+}
+
+// dropAll empties the staging area (DropCache).
+func (pf *prefetcher) dropAll() {
+	pf.mu.Lock()
+	for id, se := range pf.staged {
+		se.stale = true
+		if se.done {
+			delete(pf.staged, id)
+		}
+	}
+	pf.fifo = pf.fifo[:0]
+	pf.mu.Unlock()
+}
+
+// close shuts the worker pool down and waits for it; idempotent. Batches
+// already queued are processed, not dropped — the wait is bounded (the
+// queue is closed, so it only drains) and it makes the prefetch counters
+// deterministic for callers that read them after Close.
+func (pf *prefetcher) close() {
+	pf.mu.Lock()
+	if pf.closed {
+		pf.mu.Unlock()
+		return
+	}
+	pf.closed = true
+	close(pf.queue)
+	pf.mu.Unlock()
+	pf.wg.Wait()
+}

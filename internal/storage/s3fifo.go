@@ -1,0 +1,212 @@
+package storage
+
+import "container/list"
+
+// evictor is the bounded pager's pluggable victim-order seam. All calls
+// happen under the (single) bounded shard's lock; implementations need no
+// synchronization of their own. The caller owns the entries map — an
+// evictor only orders entries and picks victims.
+type evictor interface {
+	// insert registers a newly resident entry.
+	insert(ce *cacheEntry)
+	// touch records a cache hit on a resident entry.
+	touch(ce *cacheEntry)
+	// remove deregisters an entry leaving the cache for a reason other
+	// than eviction (pin promotion, invalidation).
+	remove(ce *cacheEntry)
+	// victim picks the next entry to evict, deregisters and returns it;
+	// nil when nothing is evictable.
+	victim() *cacheEntry
+	// len returns the number of registered entries.
+	len() int
+	// reset drops all evictor state (the caller drops the entries too).
+	reset()
+}
+
+// lruEvictor is the historical exact global LRU: hits move to front,
+// victims come from the back. Bounded-pager eviction order under it is
+// byte-identical to the pre-policy pager.
+type lruEvictor struct {
+	l *list.List
+}
+
+func newLRUEvictor() *lruEvictor { return &lruEvictor{l: list.New()} }
+
+func (e *lruEvictor) insert(ce *cacheEntry) { ce.elem = e.l.PushFront(ce) }
+func (e *lruEvictor) touch(ce *cacheEntry)  { e.l.MoveToFront(ce.elem) }
+func (e *lruEvictor) remove(ce *cacheEntry) { e.l.Remove(ce.elem); ce.elem = nil }
+func (e *lruEvictor) len() int              { return e.l.Len() }
+func (e *lruEvictor) reset()                { e.l.Init() }
+
+func (e *lruEvictor) victim() *cacheEntry {
+	el := e.l.Back()
+	if el == nil {
+		return nil
+	}
+	ce := el.Value.(*cacheEntry)
+	e.l.Remove(el)
+	ce.elem = nil
+	return ce
+}
+
+// s3fifo queue tags (cacheEntry.s3Queue).
+const (
+	s3QueueSmall = 1
+	s3QueueMain  = 2
+)
+
+// s3FreqMax saturates the per-entry access counter, per the paper: two
+// bits are enough to separate one-hit wonders from the working set.
+const s3FreqMax = 3
+
+// s3fifoEvictor implements S3-FIFO (Yang et al., "FIFO queues are all you
+// need for cache eviction", HotOS'23). New pages enter a small
+// probationary FIFO (~10% of capacity); pages re-accessed while there are
+// promoted to the main FIFO at eviction time, the rest are evicted with
+// their id remembered in a ghost FIFO. A readmitted ghost goes straight to
+// main — it was evicted too early once. Main evicts lazily: a victim with
+// hits since insertion is reinserted with its counter decremented instead
+// of evicted ("reinsertion" approximating LRU at FIFO cost). The effect is
+// scan resistance: a bulk sweep's one-touch pages die cheaply in small
+// without displacing main's working set, which is exactly the failure mode
+// of LRU under scans.
+//
+// Everything is deterministic, so bounded-cache accounting stays exactly
+// reproducible — the cross-policy equivalence tests rely on that.
+type s3fifoEvictor struct {
+	smallCap int
+	small    *list.List // *cacheEntry; front = newest
+	main     *list.List // *cacheEntry; front = newest
+
+	ghostCap int
+	ghost    map[PageID]*list.Element // id -> element in ghostFIFO
+	ghostLRU *list.List               // PageID; front = newest
+}
+
+func newS3FIFO(capacity int) *s3fifoEvictor {
+	smallCap := capacity / 10
+	if smallCap < 1 {
+		smallCap = 1
+	}
+	return &s3fifoEvictor{
+		smallCap: smallCap,
+		small:    list.New(),
+		main:     list.New(),
+		ghostCap: capacity,
+		ghost:    make(map[PageID]*list.Element),
+		ghostLRU: list.New(),
+	}
+}
+
+func (e *s3fifoEvictor) insert(ce *cacheEntry) {
+	ce.s3Freq = 0
+	if gel, ok := e.ghost[ce.id]; ok {
+		// Ghost readmission: the page proved itself after a premature
+		// probationary eviction; admit it directly to main.
+		delete(e.ghost, ce.id)
+		e.ghostLRU.Remove(gel)
+		ce.s3Queue = s3QueueMain
+		ce.elem = e.main.PushFront(ce)
+		return
+	}
+	ce.s3Queue = s3QueueSmall
+	ce.elem = e.small.PushFront(ce)
+}
+
+func (e *s3fifoEvictor) touch(ce *cacheEntry) {
+	if ce.s3Freq < s3FreqMax {
+		ce.s3Freq++
+	}
+}
+
+func (e *s3fifoEvictor) remove(ce *cacheEntry) {
+	e.queue(ce).Remove(ce.elem)
+	ce.elem = nil
+	ce.s3Queue = 0
+}
+
+func (e *s3fifoEvictor) queue(ce *cacheEntry) *list.List {
+	if ce.s3Queue == s3QueueSmall {
+		return e.small
+	}
+	return e.main
+}
+
+func (e *s3fifoEvictor) len() int { return e.small.Len() + e.main.Len() }
+
+func (e *s3fifoEvictor) reset() {
+	e.small.Init()
+	e.main.Init()
+	e.ghost = make(map[PageID]*list.Element)
+	e.ghostLRU.Init()
+}
+
+func (e *s3fifoEvictor) victim() *cacheEntry {
+	for e.small.Len() > 0 || e.main.Len() > 0 {
+		if e.small.Len() > e.smallCap || e.main.Len() == 0 {
+			if ce := e.victimSmall(); ce != nil {
+				return ce
+			}
+			continue // everything in small was promoted; retry via main
+		}
+		return e.victimMain()
+	}
+	return nil
+}
+
+// victimSmall drains the small queue's tail: re-accessed entries promote
+// to main (probation passed), the first cold one is evicted and remembered
+// as a ghost. Returns nil if promotions emptied the queue.
+func (e *s3fifoEvictor) victimSmall() *cacheEntry {
+	for e.small.Len() > 0 {
+		el := e.small.Back()
+		ce := el.Value.(*cacheEntry)
+		e.small.Remove(el)
+		if ce.s3Freq > 0 {
+			ce.s3Freq = 0
+			ce.s3Queue = s3QueueMain
+			ce.elem = e.main.PushFront(ce)
+			continue
+		}
+		ce.elem = nil
+		ce.s3Queue = 0
+		e.addGhost(ce.id)
+		return ce
+	}
+	return nil
+}
+
+// victimMain evicts the first tail entry without recent hits, reinserting
+// hot tail entries with a decremented counter. Terminates because each
+// reinsertion strictly decreases a counter.
+func (e *s3fifoEvictor) victimMain() *cacheEntry {
+	for {
+		el := e.main.Back()
+		if el == nil {
+			return nil
+		}
+		ce := el.Value.(*cacheEntry)
+		e.main.Remove(el)
+		if ce.s3Freq > 0 {
+			ce.s3Freq--
+			ce.elem = e.main.PushFront(ce)
+			continue
+		}
+		ce.elem = nil
+		ce.s3Queue = 0
+		return ce
+	}
+}
+
+func (e *s3fifoEvictor) addGhost(id PageID) {
+	if gel, ok := e.ghost[id]; ok {
+		e.ghostLRU.MoveToFront(gel)
+		return
+	}
+	e.ghost[id] = e.ghostLRU.PushFront(id)
+	for e.ghostLRU.Len() > e.ghostCap {
+		back := e.ghostLRU.Back()
+		delete(e.ghost, back.Value.(PageID))
+		e.ghostLRU.Remove(back)
+	}
+}

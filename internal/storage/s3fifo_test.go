@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refS3FIFO is an independent reference model of the S3-FIFO policy,
+// written over plain slices (newest at the end, tail at index 0) instead
+// of the production intrusive lists. The property test drives both with
+// the same access stream and demands identical hit/miss and eviction
+// sequences.
+type refS3FIFO struct {
+	capacity, smallCap, ghostCap int
+	small, main, ghost           []PageID
+	freq                         map[PageID]int
+}
+
+func newRefS3FIFO(capacity int) *refS3FIFO {
+	smallCap := capacity / 10
+	if smallCap < 1 {
+		smallCap = 1
+	}
+	return &refS3FIFO{
+		capacity: capacity,
+		smallCap: smallCap,
+		ghostCap: capacity,
+		freq:     map[PageID]int{},
+	}
+}
+
+func (r *refS3FIFO) inQueue(q []PageID, id PageID) int {
+	for i, v := range q {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// access simulates one cache lookup, returning (hit, evicted ids in order).
+func (r *refS3FIFO) access(id PageID) (bool, []PageID) {
+	if r.inQueue(r.small, id) >= 0 || r.inQueue(r.main, id) >= 0 {
+		if r.freq[id] < s3FreqMax {
+			r.freq[id]++
+		}
+		return true, nil
+	}
+	r.freq[id] = 0
+	if gi := r.inQueue(r.ghost, id); gi >= 0 {
+		r.ghost = append(r.ghost[:gi], r.ghost[gi+1:]...)
+		r.main = append(r.main, id)
+	} else {
+		r.small = append(r.small, id)
+	}
+	var evicted []PageID
+	for len(r.small)+len(r.main) > r.capacity {
+		evicted = append(evicted, r.evictOne())
+	}
+	return false, evicted
+}
+
+func (r *refS3FIFO) evictOne() PageID {
+	for {
+		if len(r.small) > r.smallCap || len(r.main) == 0 {
+			if id, ok := r.evictSmall(); ok {
+				return id
+			}
+			continue // everything promoted; retry via main
+		}
+		return r.evictMain()
+	}
+}
+
+func (r *refS3FIFO) evictSmall() (PageID, bool) {
+	for len(r.small) > 0 {
+		id := r.small[0]
+		r.small = r.small[1:]
+		if r.freq[id] > 0 {
+			r.freq[id] = 0
+			r.main = append(r.main, id)
+			continue
+		}
+		r.addGhost(id)
+		return id, true
+	}
+	return 0, false
+}
+
+func (r *refS3FIFO) evictMain() PageID {
+	for {
+		id := r.main[0]
+		r.main = r.main[1:]
+		if r.freq[id] > 0 {
+			r.freq[id]--
+			r.main = append(r.main, id)
+			continue
+		}
+		return id
+	}
+}
+
+func (r *refS3FIFO) addGhost(id PageID) {
+	if gi := r.inQueue(r.ghost, id); gi >= 0 {
+		r.ghost = append(r.ghost[:gi], r.ghost[gi+1:]...)
+	}
+	r.ghost = append(r.ghost, id)
+	if len(r.ghost) > r.ghostCap {
+		r.ghost = r.ghost[1:]
+	}
+}
+
+// driveEvictor simulates a bounded cache of the given capacity on top of
+// an evictor, the way the pager uses one: touch on hit, insert on miss,
+// victim while over capacity.
+type evictorSim struct {
+	capacity int
+	evict    evictor
+	entries  map[PageID]*cacheEntry
+}
+
+func newEvictorSim(capacity int, e evictor) *evictorSim {
+	return &evictorSim{capacity: capacity, evict: e, entries: map[PageID]*cacheEntry{}}
+}
+
+func (s *evictorSim) access(id PageID) (bool, []PageID) {
+	if ce, ok := s.entries[id]; ok {
+		s.evict.touch(ce)
+		return true, nil
+	}
+	ce := &cacheEntry{id: id}
+	s.entries[id] = ce
+	s.evict.insert(ce)
+	var evicted []PageID
+	for len(s.entries) > s.capacity {
+		v := s.evict.victim()
+		if v == nil {
+			break
+		}
+		delete(s.entries, v.id)
+		evicted = append(evicted, v.id)
+	}
+	return false, evicted
+}
+
+func TestS3FIFOMatchesReferenceModel(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 5, 10, 16, 40} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed*100 + int64(capacity)))
+			sim := newEvictorSim(capacity, newS3FIFO(capacity))
+			ref := newRefS3FIFO(capacity)
+			idSpace := 3*capacity + 2
+			for step := 0; step < 4000; step++ {
+				var id PageID
+				if rng.Intn(3) == 0 {
+					id = PageID(rng.Intn(idSpace)) // uniform
+				} else {
+					id = PageID(rng.Intn(capacity/2 + 1)) // hot set
+				}
+				gotHit, gotEv := sim.access(id)
+				wantHit, wantEv := ref.access(id)
+				if gotHit != wantHit {
+					t.Fatalf("cap=%d seed=%d step=%d id=%d: hit=%v, reference says %v",
+						capacity, seed, step, id, gotHit, wantHit)
+				}
+				if len(gotEv) != len(wantEv) {
+					t.Fatalf("cap=%d seed=%d step=%d: evicted %v, reference %v",
+						capacity, seed, step, gotEv, wantEv)
+				}
+				for i := range gotEv {
+					if gotEv[i] != wantEv[i] {
+						t.Fatalf("cap=%d seed=%d step=%d: evicted %v, reference %v",
+							capacity, seed, step, gotEv, wantEv)
+					}
+				}
+				if sim.evict.len() != len(sim.entries) {
+					t.Fatalf("cap=%d seed=%d step=%d: evictor tracks %d entries, cache holds %d",
+						capacity, seed, step, sim.evict.len(), len(sim.entries))
+				}
+				if len(sim.entries) > capacity {
+					t.Fatalf("cap=%d seed=%d step=%d: %d resident entries exceed capacity",
+						capacity, seed, step, len(sim.entries))
+				}
+			}
+		}
+	}
+}
+
+// TestS3FIFOGhostReadmission pins the policy's signature move: a page
+// evicted from the probationary queue and re-referenced while its ghost
+// is remembered is admitted directly to the main queue.
+func TestS3FIFOGhostReadmission(t *testing.T) {
+	const capacity = 4 // smallCap 1
+	e := newS3FIFO(capacity)
+	sim := newEvictorSim(capacity, e)
+	for id := PageID(0); id < 5; id++ {
+		sim.access(id) // the fifth insert evicts page 0 from small
+	}
+	if _, resident := sim.entries[0]; resident {
+		t.Fatal("page 0 should have been evicted")
+	}
+	if _, ghosted := e.ghost[0]; !ghosted {
+		t.Fatal("evicted probationary page 0 not remembered as a ghost")
+	}
+	hit, _ := sim.access(0)
+	if hit {
+		t.Fatal("readmission must be a miss (the bytes are gone)")
+	}
+	ce := sim.entries[0]
+	if ce == nil || ce.s3Queue != s3QueueMain {
+		t.Fatalf("readmitted ghost landed in queue %d, want main", ce.s3Queue)
+	}
+	if _, ghosted := e.ghost[0]; ghosted {
+		t.Fatal("readmitted page still listed as a ghost")
+	}
+}
+
+func TestS3FIFOGhostBounded(t *testing.T) {
+	const capacity = 8
+	e := newS3FIFO(capacity)
+	sim := newEvictorSim(capacity, e)
+	for id := PageID(0); id < 500; id++ {
+		sim.access(id) // pure scan: every page dies in small and ghosts
+	}
+	if e.ghostLRU.Len() > capacity {
+		t.Errorf("ghost queue holds %d ids, cap is %d", e.ghostLRU.Len(), capacity)
+	}
+	if len(e.ghost) != e.ghostLRU.Len() {
+		t.Errorf("ghost map (%d) and ghost order (%d) diverge", len(e.ghost), e.ghostLRU.Len())
+	}
+}
+
+// TestS3FIFOScanResistance demonstrates the policy's reason to exist: a
+// hot working set interleaved with one-touch scans keeps a higher hit
+// rate under S3-FIFO than under LRU on the same stream and capacity.
+func TestS3FIFOScanResistance(t *testing.T) {
+	const capacity = 16
+	stream := make([]PageID, 0, 6000)
+	rng := rand.New(rand.NewSource(11))
+	next := PageID(100)
+	for len(stream) < 6000 {
+		for k := 0; k < 6; k++ {
+			stream = append(stream, PageID(rng.Intn(10))) // hot set: pages 0..9
+		}
+		for k := 0; k < 4; k++ { // scan: never-repeating cold pages
+			stream = append(stream, next)
+			next++
+		}
+	}
+	hitRate := func(e evictor) float64 {
+		sim := newEvictorSim(capacity, e)
+		hits := 0
+		for _, id := range stream {
+			if h, _ := sim.access(id); h {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(stream))
+	}
+	lru := hitRate(newLRUEvictor())
+	s3 := hitRate(newS3FIFO(capacity))
+	if s3 <= lru {
+		t.Errorf("s3fifo hit rate %.4f not above lru %.4f on a scan-flood stream", s3, lru)
+	}
+}

@@ -1,0 +1,92 @@
+package prtree
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/workload"
+)
+
+// TestCrossPolicyEquivalence is the I/O tier's end-to-end correctness
+// gate: one index file, reopened under every combination of page layout,
+// read path (plain file, mmap), eviction policy and prefetch, at a sweep
+// of cache capacities from pathological (1 page) to unbounded. Query
+// results must be bit-identical to the plain-file/lru/no-prefetch
+// reference everywhere — caching and speculation are pure performance
+// knobs — and within each configuration the demand read count must be
+// identical with prefetch on and off (speculative I/O is accounted
+// separately and must never perturb the paper's block-I/O numbers).
+func TestCrossPolicyEquivalence(t *testing.T) {
+	for _, layout := range []PageLayout{LayoutRaw, LayoutCompressed} {
+		t.Run(fmt.Sprintf("layout=%v", layout), func(t *testing.T) {
+			items := dataset.Western(4000, 17)
+			path := filepath.Join(t.TempDir(), "equiv.pr")
+			base, err := Create(path, &Options{Layout: layout})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := base.BulkLoad(PR, items); err != nil {
+				t.Fatal(err)
+			}
+			if err := base.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			world := geom.ItemsMBR(items)
+			queries := workload.Squares(world, 0.01, 25, 18)
+
+			run := func(opts *Options) ([][]Item, uint64) {
+				tree, err := Open(path, opts)
+				if err != nil {
+					t.Fatalf("open %+v: %v", opts, err)
+				}
+				var results [][]Item
+				for _, q := range queries {
+					got, err := tree.Collect(Window(q))
+					if err != nil {
+						t.Fatalf("collect under %+v: %v", opts, err)
+					}
+					results = append(results, got)
+				}
+				// Close drains the prefetch pool so the counters are settled.
+				if err := tree.Close(); err != nil {
+					t.Fatalf("close under %+v: %v", opts, err)
+				}
+				return results, tree.IOStats().Reads
+			}
+
+			for _, capacity := range []int{1, 2, 3, 8, 32, -1} {
+				ref, _ := run(&Options{CacheCapacity: capacity, Eviction: EvictLRU})
+				for _, mmap := range []bool{false, true} {
+					for _, policy := range []EvictionPolicy{EvictLRU, EvictS3FIFO} {
+						var demandOff uint64
+						for _, prefetch := range []bool{false, true} {
+							got, reads := run(&Options{
+								CacheCapacity: capacity,
+								Eviction:      policy,
+								Prefetch:      prefetch,
+								Mmap:          mmap,
+							})
+							if !reflect.DeepEqual(got, ref) {
+								t.Fatalf("cap=%d mmap=%v policy=%v prefetch=%v: query results diverge from reference",
+									capacity, mmap, policy, prefetch)
+							}
+							if prefetch {
+								if reads != demandOff {
+									t.Fatalf("cap=%d mmap=%v policy=%v: demand reads %d with prefetch, %d without — must be identical",
+										capacity, mmap, policy, reads, demandOff)
+								}
+							} else {
+								demandOff = reads
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -133,6 +133,25 @@ type Options struct {
 	// CacheCapacity bounds the page cache in pages; negative means
 	// unbounded (the default), 0 disables caching entirely.
 	CacheCapacity int
+	// Eviction selects the bounded page cache's eviction policy (default
+	// EvictLRU). It only matters when CacheCapacity > 0; unbounded and
+	// disabled caches never evict. Query results and demand block-I/O
+	// totals are identical under every policy — only which pages stay
+	// resident (and hence the hit rate) changes.
+	Eviction EvictionPolicy
+	// Prefetch enables structure-aware speculative read-ahead: query
+	// traversals hand the pager the child pages they are about to visit
+	// (the PR-tree's priority leaves are known before recursion), and a
+	// small worker pool fills them in the background. Speculative reads
+	// are counted separately (IOStats.PrefetchReads) and demand I/O
+	// accounting stays bit-identical to a run without prefetch.
+	Prefetch bool
+	// Mmap serves reads of a file-backed tree (Create/Open) through a
+	// read-only memory mapping: zero-copy page views with checksums
+	// verified once per mapped page. On platforms without the mapping
+	// path (non-Linux builds) the option is accepted and reads fall back
+	// to the ordinary verified file reads. Ignored for non-file backends.
+	Mmap bool
 	// Update selects the dynamic-update heuristic for Insert/Delete
 	// (default GuttmanQuadratic).
 	Update UpdateHeuristic
@@ -222,7 +241,11 @@ func (t *Tree) mutate(fn func()) error {
 // decorator (IOStats) and the pager every node access goes through.
 func newTree(dev storage.Backend, o Options) (*storage.Counting, *storage.Pager) {
 	counting := storage.NewCounting(dev)
-	return counting, storage.NewPager(counting, o.CacheCapacity)
+	return counting, storage.NewPagerWith(counting, storage.PagerOptions{
+		Capacity: o.CacheCapacity,
+		Policy:   o.Eviction,
+		Prefetch: o.Prefetch,
+	})
 }
 
 // Bulk builds a PR-tree over items. opts may be nil for defaults.
@@ -320,6 +343,11 @@ func (t *Tree) IOStats() IOStats { return t.io.Stats() }
 // simply split their I/O across the two measurement intervals.
 func (t *Tree) ResetIOStats() { t.io.ResetStats() }
 
+// CacheStats returns the page cache's hit/miss/eviction and prefetch
+// counters plus the active capacity and eviction policy. Safe to call
+// while queries run.
+func (t *Tree) CacheStats() CacheStats { return t.pager.CacheStats() }
+
 // PinInternal pins every internal node in the page cache, reproducing the
 // paper's measurement setup where query I/O equals leaf blocks fetched.
 // It returns the number of pinned pages.
@@ -362,6 +390,7 @@ func Load(r io.Reader, opts *Options) (*Tree, error) {
 type Dynamic struct {
 	inner *logmethod.Tree
 	io    *storage.Counting
+	pager *storage.Pager
 }
 
 // DynamicStats mirrors logmethod query statistics.
@@ -381,7 +410,18 @@ func NewDynamic(opts *Options) *Dynamic {
 		Layout:      o.Layout,
 		MemoryItems: o.MemoryItems,
 	}, 0)
-	return &Dynamic{inner: inner, io: counting}
+	return &Dynamic{inner: inner, io: counting, pager: pager}
+}
+
+// Close releases the index's background resources (the prefetch worker
+// pool, when Options.Prefetch enabled one) and closes the backend. Using
+// the index after Close is invalid.
+func (d *Dynamic) Close() error {
+	d.pager.Close()
+	if err := d.io.Close(); err != nil {
+		return fmt.Errorf("prtree: close: %w", err)
+	}
+	return nil
 }
 
 // mutate is Tree.mutate for the dynamic index: one backend transaction

@@ -40,6 +40,45 @@ func NewFileBackend(path string, blockSize int) (Backend, error) {
 	return storage.CreateFile(path, blockSize)
 }
 
+// EvictionPolicy selects the bounded page cache's eviction policy; see
+// Options.Eviction.
+type EvictionPolicy = storage.EvictionPolicy
+
+// Eviction policies for Options.Eviction.
+const (
+	// EvictLRU is exact least-recently-used eviction (the default).
+	EvictLRU = storage.EvictLRU
+	// EvictS3FIFO is the scan-resistant S3-FIFO policy (Yang et al.,
+	// HotOS'23): a small probationary FIFO, a main FIFO with lazy
+	// promotion, and a ghost queue readmitting prematurely evicted pages.
+	EvictS3FIFO = storage.EvictS3FIFO
+)
+
+// ParseEvictionPolicy maps the tool-facing names ("lru", "s3fifo") onto
+// policies.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	return storage.ParseEvictionPolicy(s)
+}
+
+// CacheStats reports the page cache's counters; see Tree.CacheStats.
+type CacheStats = storage.CacheStats
+
+// NewMmapBackend opens the index file at path as a memory-mapped Backend:
+// reads come from a read-only shared mapping as zero-copy page views with
+// checksums verified once per mapped page, writes go through the regular
+// durable file path (the mapping stays coherent). A non-zero blockSize is
+// a requirement the file must match (like Open); <= 0 accepts the file's.
+// On platforms without the mapping support the backend still works,
+// serving every read through ordinary verified file reads. Most callers
+// want Open with Options.Mmap instead, which also manages the tree
+// metadata.
+func NewMmapBackend(path string, blockSize int) (Backend, error) {
+	if blockSize < 0 {
+		blockSize = 0
+	}
+	return storage.OpenMmap(path, blockSize)
+}
+
 // Index-file corruption sentinels, matchable through the errors Open
 // returns with errors.Is.
 var (
