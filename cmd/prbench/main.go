@@ -8,7 +8,7 @@
 //
 //	prbench [-scale F] [-queries N] [-mem M] [-workers W] [-seed S]
 //	        [-layout raw|compressed] [-json FILE] [-only ids] [-faults]
-//	        [-cachesweep]
+//	        [-cachesweep] [-serve] [-serveaddr HOST:PORT]
 //
 // -faults is shorthand for -only faults: drive the file backend through
 // every injected failure mode (error, torn write, crash, silent stop) and
@@ -16,6 +16,11 @@
 // -cachesweep is shorthand for -only cachesweep: serve a file-backed tree
 // at pager capacities far below the index size, sweeping eviction policy
 // (lru, s3fifo), structure-aware prefetch and the mmap read path.
+// -serve is shorthand for -only serve: load-test the sharded network
+// server (in-process by default; -serveaddr drives a running prtreeserve
+// instead) across a client-concurrency sweep, reporting qps and exact
+// p50/p95/p99 latency. prbench exits 1 if any serve row records errors,
+// so CI can gate on the run.
 // -scale multiplies the default dataset sizes (~120k rectangles at 1.0;
 // the paper used 10-16.7M — scale 100 reproduces that on a large machine).
 // -workers sets the bulk-load pipeline's parallelism (default: GOMAXPROCS;
@@ -25,7 +30,11 @@
 // experiment measures both formats regardless).
 // -json writes the results as JSON to the given file ("-" for stdout), the
 // producer for BENCH_*.json trajectory tracking: per-experiment rows plus
-// wall seconds and allocation counters.
+// wall seconds and allocation counters. When the file already exists, the
+// new rows are merged into it — experiments re-run this invocation replace
+// their previous records in place, experiments not re-run are preserved —
+// so partial runs like `prbench -serve -json BENCH_fig12.json` update one
+// experiment without regenerating the whole suite.
 // -only selects a comma-separated subset of experiment ids, e.g.
 // "fig9,table1".
 package main
@@ -36,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -79,9 +89,11 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	faults := flag.Bool("faults", false, "run only the fault-injection recovery sweep (shorthand for -only faults)")
 	cachesweep := flag.Bool("cachesweep", false, "run only the cache-pressure sweep (shorthand for -only cachesweep)")
+	serveFlag := flag.Bool("serve", false, "run only the network-serving load test (shorthand for -only serve)")
+	serveAddr := flag.String("serveaddr", "", "serve experiment: drive this running prtreeserve binary-protocol address instead of an in-process server")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
-	for flagName, set := range map[string]*bool{"faults": faults, "cachesweep": cachesweep} {
+	for flagName, set := range map[string]*bool{"faults": faults, "cachesweep": cachesweep, "serve": serveFlag} {
 		if !*set {
 			continue
 		}
@@ -104,7 +116,7 @@ func main() {
 		"table1", "theorem3", "lemma2", "utilization",
 		"ablation-priority", "ablation-roundb", "ablation-cache",
 		"futurework", "throughput", "layout",
-		"walbuild", "faults", "cachesweep",
+		"walbuild", "faults", "cachesweep", "serve",
 	}
 	if *list {
 		for _, id := range ids {
@@ -121,6 +133,7 @@ func main() {
 		QueryWorkers: *qworkers,
 		Layout:       layout,
 		Seed:         *seed,
+		ServeAddr:    *serveAddr,
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -164,6 +177,7 @@ func main() {
 		"walbuild":          experiments.WALBuild,
 		"faults":            experiments.FaultSweep,
 		"cachesweep":        experiments.CacheSweep,
+		"serve":             experiments.Serve,
 	}
 
 	jsonOnly := *jsonPath == "-"
@@ -180,6 +194,7 @@ func main() {
 		Seed:         *seed,
 	}
 	total := time.Now()
+	serveErrors := 0
 	var before, after runtime.MemStats
 	for _, id := range ids {
 		if len(want) > 0 && !want[id] {
@@ -193,6 +208,9 @@ func main() {
 		if !jsonOnly {
 			fmt.Print(table.Render())
 			fmt.Printf("(%.1fs)\n\n", elapsed.Seconds())
+		}
+		if table.ID == "serve" {
+			serveErrors += tableErrors(&table)
 		}
 		report.Experiments = append(report.Experiments, jsonExperiment{
 			ID:         table.ID,
@@ -211,7 +229,11 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(&report, "", "  ")
+		out := report
+		if !jsonOnly {
+			out = mergeReport(*jsonPath, report)
+		}
+		data, err := json.MarshalIndent(&out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prbench: encoding json: %v\n", err)
 			os.Exit(1)
@@ -219,11 +241,78 @@ func main() {
 		data = append(data, '\n')
 		if jsonOnly {
 			os.Stdout.Write(data)
-			return
-		}
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "prbench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
 	}
+	if serveErrors > 0 {
+		fmt.Fprintf(os.Stderr, "prbench: serve experiment recorded %d errors\n", serveErrors)
+		os.Exit(1)
+	}
+}
+
+// tableErrors sums the "errors" column of a table; non-numeric cells
+// (placeholders for runs that never started) count as one error each.
+func tableErrors(t *experiments.Table) int {
+	col := -1
+	for i, c := range t.Columns {
+		if c == "errors" {
+			col = i
+		}
+	}
+	if col < 0 {
+		return 0
+	}
+	total := 0
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		n, err := strconv.Atoi(row[col])
+		if err != nil {
+			total++
+			continue
+		}
+		total += n
+	}
+	return total
+}
+
+// mergeReport folds the just-finished run into an existing -json file:
+// experiments re-run this invocation replace their previous records in
+// place (keeping the file's ordering), experiments not re-run are
+// preserved, and new ones are appended in run order. Top-level parameters
+// come from the new run. A missing or unreadable file means the new
+// report stands alone.
+func mergeReport(path string, fresh jsonReport) jsonReport {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fresh
+	}
+	var prev jsonReport
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "prbench: %s exists but is not a prbench report (%v); overwriting\n", path, err)
+		return fresh
+	}
+	reran := make(map[string]jsonExperiment, len(fresh.Experiments))
+	for _, e := range fresh.Experiments {
+		reran[e.ID] = e
+	}
+	merged := fresh
+	merged.Experiments = nil
+	for _, e := range prev.Experiments {
+		if ne, ok := reran[e.ID]; ok {
+			merged.Experiments = append(merged.Experiments, ne)
+			delete(reran, e.ID)
+		} else {
+			merged.Experiments = append(merged.Experiments, e)
+		}
+	}
+	for _, e := range fresh.Experiments {
+		if _, ok := reran[e.ID]; ok {
+			merged.Experiments = append(merged.Experiments, e)
+		}
+	}
+	return merged
 }

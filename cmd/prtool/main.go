@@ -13,6 +13,9 @@
 //
 //	create  bulk-load -in into the on-disk index file -index (built once,
 //	        queryable across process runs)
+//	shard   partition -in into -shards trees (space- or Hilbert-ordered)
+//	        and bulk-load them into the index directory -out, writing a
+//	        manifest prtreeserve serves from
 //	stats   print tree shape, utilization and build I/O
 //	query   run one window query (x1,y1,x2,y2) and print matches
 //	bench   run random square queries and report the paper's cost metric
@@ -34,6 +37,7 @@ import (
 	"strings"
 
 	"prtree"
+	"prtree/internal/serve"
 	"prtree/internal/storage"
 	"prtree/internal/workload"
 )
@@ -48,6 +52,9 @@ func main() {
 	area := flag.Float64("area", 0.01, "bench: query area fraction")
 	seed := flag.Int64("seed", 1, "bench: query seed")
 	limit := flag.Int("limit", 0, "query: stop after N matches (0 = all)")
+	out := flag.String("out", "", "shard: output index directory")
+	nshards := flag.Int("shards", 4, "shard: number of shards")
+	partition := flag.String("partition", "hilbert", "shard: partitioning scheme: hilbert|grid")
 	cache := flag.Int("cache", 0, "page-cache capacity in pages (0 = unbounded, -1 disables)")
 	policyName := flag.String("policy", "lru", "bounded-cache eviction policy: lru|s3fifo")
 	prefetch := flag.Bool("prefetch", false, "enable structure-aware speculative read-ahead")
@@ -82,6 +89,33 @@ func main() {
 		Eviction:      policy,
 		Prefetch:      *prefetch,
 		Mmap:          *useMmap,
+	}
+
+	if flag.Arg(0) == "shard" {
+		if *in == "" || *out == "" {
+			fmt.Fprintln(os.Stderr, "prtool: shard needs both -in and -out")
+			os.Exit(2)
+		}
+		items, err := readItems(*in)
+		if err != nil {
+			fatal(err)
+		}
+		man, err := serve.Build(*out, items, serve.BuildOptions{
+			Shards:      *nshards,
+			Partition:   *partition,
+			Loader:      loader,
+			Layout:      layout,
+			MemoryItems: *mem,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sharded %d items into %s (%s partition, loader %v):\n",
+			man.Items, *out, man.Partition, loader)
+		for i, si := range man.Shards {
+			fmt.Printf("  shard %3d: %s (%d items)\n", i, si.File, si.Items)
+		}
+		return
 	}
 
 	if flag.Arg(0) == "create" {
@@ -269,6 +303,7 @@ func printCache(tree *prtree.Tree) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: prtool -in data.bin [-loader PR] stats|query x1,y1,x2,y2|bench
        prtool -in data.bin -index file.pr create
+       prtool -in data.bin -out dir -shards N [-partition hilbert|grid] shard
        prtool -index file.pr stats|query x1,y1,x2,y2|bench|fsck|recover`)
 	os.Exit(2)
 }

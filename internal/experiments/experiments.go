@@ -45,6 +45,11 @@ type Config struct {
 	Layout rtree.Layout
 	// Seed drives every generator.
 	Seed int64
+	// ServeAddr points the serve experiment at an already-running
+	// prtreeserve binary-protocol listener instead of the in-process
+	// server it builds by default. The workload is synthesized from the
+	// remote server's reported world MBR.
+	ServeAddr string
 }
 
 // bulkOptions returns the loader options every experiment shares.

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestServe runs the serving experiment end to end at a small scale: an
+// in-process sharded server, real TCP, a reduced client sweep.
+func TestServe(t *testing.T) {
+	old := serveClientSweep
+	serveClientSweep = []int{1, 2}
+	defer func() { serveClientSweep = old }()
+
+	table := Serve(Config{Scale: 0.05, Queries: 8})
+	if table.ID != "serve" {
+		t.Fatalf("table ID %q", table.ID)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(table.Rows), table.Rows)
+	}
+	errCol := -1
+	for i, c := range table.Columns {
+		if c == "errors" {
+			errCol = i
+		}
+	}
+	if errCol < 0 {
+		t.Fatalf("no errors column in %v", table.Columns)
+	}
+	for _, row := range table.Rows {
+		if len(row) != len(table.Columns) {
+			t.Fatalf("ragged row %v", row)
+		}
+		n, err := strconv.Atoi(row[errCol])
+		if err != nil || n != 0 {
+			t.Fatalf("serve row reported errors: %v", row)
+		}
+		if qps, err := strconv.ParseFloat(row[2], 64); err != nil || qps <= 0 {
+			t.Fatalf("bad qps in row %v", row)
+		}
+	}
+}

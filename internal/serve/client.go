@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"prtree/internal/geom"
+)
+
+// Client is a binary-protocol connection to a prtreeserve server. It is
+// not safe for concurrent use: the protocol is one request frame followed
+// by one response frame, so callers wanting parallelism open one Client
+// per goroutine (as the load generator does).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a binary-protocol listener at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. a net.Pipe end in
+// tests) in the protocol.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and decodes its response. A *RemoteError carries a
+// server-side rejection (overload, deadline, bad request); other errors
+// are transport or framing failures.
+func (c *Client) Do(req Request) (Result, error) {
+	var err error
+	c.buf, err = EncodeRequest(c.buf[:0], req)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := WriteFrame(c.bw, c.buf); err != nil {
+		return Result{}, fmt.Errorf("serve: writing request: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Result{}, fmt.Errorf("serve: writing request: %w", err)
+	}
+	payload, err := ReadFrame(c.br, MaxResponseFrame)
+	if err != nil {
+		return Result{}, fmt.Errorf("serve: reading response: %w", err)
+	}
+	return DecodeResponse(payload)
+}
+
+// Window runs one window query.
+func (c *Client) Window(r geom.Rect, limit uint32) ([]geom.Item, error) {
+	res, err := c.Do(Request{Op: OpWindow, Rect: r, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Sets) != 1 {
+		return nil, fmt.Errorf("%w: window response with %d sets", ErrBadFrame, len(res.Sets))
+	}
+	return res.Sets[0], nil
+}
+
+// Nearest runs one k-NN query.
+func (c *Client) Nearest(x, y float64, k uint32) ([]Neighbor, error) {
+	res, err := c.Do(Request{Op: OpNearest, X: x, Y: y, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return res.Neighbors, nil
+}
+
+// Stats fetches the server's shard count, item count and world MBR.
+func (c *Client) Stats() (WireStats, error) {
+	res, err := c.Do(Request{Op: OpStats})
+	if err != nil {
+		return WireStats{}, err
+	}
+	if res.Stats == nil {
+		return WireStats{}, fmt.Errorf("%w: stats response without stats", ErrBadFrame)
+	}
+	return *res.Stats, nil
+}

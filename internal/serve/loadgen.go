@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"prtree/internal/geom"
+)
+
+// LoadOptions configures one load-generation run against a binary-protocol
+// listener — in-process (127.0.0.1:0) or remote, the generator cannot tell
+// the difference.
+type LoadOptions struct {
+	// Addr is the server's binary-protocol address.
+	Addr string
+	// Clients is the number of concurrent connections (>= 1).
+	Clients int
+	// Requests is the total request count, split across clients.
+	Requests int
+	// Rects is the window-query workload, issued round-robin. Required
+	// unless NearestK > 0.
+	Rects []geom.Rect
+	// NearestK, when > 0, issues k-NN queries at the centers of Rects
+	// instead of window queries.
+	NearestK uint32
+	// Tenant and DeadlineMillis are stamped on every request.
+	Tenant         string
+	DeadlineMillis uint32
+	// Limit bounds per-query results (0 = unlimited).
+	Limit uint32
+}
+
+// LoadResult is one run's aggregate outcome. Latency quantiles are exact:
+// every request's wall time is recorded and sorted.
+type LoadResult struct {
+	Clients  int
+	Requests int           // requests attempted
+	Errors   int           // transport failures + server error responses
+	Results  uint64        // total items returned across ok responses
+	Elapsed  time.Duration // wall time of the whole run
+	QPS      float64       // Requests / Elapsed
+	Mean     time.Duration
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// RunLoad drives opt.Requests queries through opt.Clients concurrent
+// connections and reports throughput and the exact latency distribution.
+// Per-request failures (including rejections) are counted, not fatal; the
+// returned error covers only unusable configurations.
+func RunLoad(opt LoadOptions) (LoadResult, error) {
+	if opt.Clients < 1 {
+		opt.Clients = 1
+	}
+	if opt.Requests < opt.Clients {
+		opt.Requests = opt.Clients
+	}
+	if len(opt.Rects) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: load generation needs a workload (Rects)")
+	}
+
+	type clientOut struct {
+		lats    []time.Duration
+		errs    int
+		results uint64
+	}
+	outs := make([]clientOut, opt.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	reqNo := 0
+	for ci := 0; ci < opt.Clients; ci++ {
+		n := opt.Requests / opt.Clients
+		if ci < opt.Requests%opt.Clients {
+			n++
+		}
+		offset := reqNo
+		reqNo += n
+		wg.Add(1)
+		go func(ci, offset, n int) {
+			defer wg.Done()
+			out := &outs[ci]
+			out.lats = make([]time.Duration, 0, n)
+			cl, err := Dial(opt.Addr)
+			if err != nil {
+				out.errs = n
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < n; i++ {
+				r := opt.Rects[(offset+i)%len(opt.Rects)]
+				req := Request{
+					Op: OpWindow, Rect: r,
+					Tenant: opt.Tenant, DeadlineMillis: opt.DeadlineMillis, Limit: opt.Limit,
+				}
+				if opt.NearestK > 0 {
+					cx, cy := r.Center()
+					req = Request{
+						Op: OpNearest, X: cx, Y: cy, K: opt.NearestK,
+						Tenant: opt.Tenant, DeadlineMillis: opt.DeadlineMillis,
+					}
+				}
+				t0 := time.Now()
+				res, err := cl.Do(req)
+				out.lats = append(out.lats, time.Since(t0))
+				if err != nil {
+					out.errs++
+					// A transport failure poisons the connection; redial.
+					if _, remote := err.(*RemoteError); !remote {
+						cl.Close()
+						cl, err = Dial(opt.Addr)
+						if err != nil {
+							out.errs += n - i - 1
+							return
+						}
+					}
+					continue
+				}
+				for _, set := range res.Sets {
+					out.results += uint64(len(set))
+				}
+				out.results += uint64(len(res.Neighbors))
+			}
+		}(ci, offset, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := LoadResult{Clients: opt.Clients, Requests: opt.Requests, Elapsed: elapsed}
+	var all []time.Duration
+	for i := range outs {
+		res.Errors += outs[i].errs
+		res.Results += outs[i].results
+		all = append(all, outs[i].lats...)
+	}
+	if elapsed > 0 {
+		res.QPS = float64(opt.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		res.Mean = sum / time.Duration(len(all))
+		res.P50 = quantile(all, 0.50)
+		res.P95 = quantile(all, 0.95)
+		res.P99 = quantile(all, 0.99)
+		res.Max = all[len(all)-1]
+	}
+	return res, nil
+}
+
+// quantile returns the q-th quantile of sorted (nearest-rank method).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prtree/internal/geom"
+)
+
+func rect(a, b, c, d float64) geom.Rect { return geom.NewRect(a, b, c, d) }
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpWindow, Rect: rect(1, 2, 3, 4)},
+		{Op: OpContained, Tenant: "acme", DeadlineMillis: 250, Limit: 10, Rect: rect(-5, -5, 5, 5)},
+		{Op: OpPoint, X: 3.25, Y: -7.5},
+		{Op: OpNearest, Tenant: "x", X: 0, Y: 0, K: 17},
+		{Op: OpBatch, Limit: 3, Rects: []geom.Rect{rect(0, 0, 1, 1), rect(2, 2, 3, 3)}},
+		{Op: OpBatch, Rects: []geom.Rect{}},
+		{Op: OpStats},
+	}
+	for _, want := range reqs {
+		buf, err := EncodeRequest(nil, want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		// Batch round-trips nil ↔ empty; normalize before comparing.
+		if len(want.Rects) == 0 {
+			want.Rects, got.Rects = nil, nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestEncodeRequestRejects(t *testing.T) {
+	if _, err := EncodeRequest(nil, Request{Op: OpWindow, Tenant: strings.Repeat("t", MaxTenant+1)}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized tenant: got %v, want ErrBadFrame", err)
+	}
+	if _, err := EncodeRequest(nil, Request{Op: OpBatch, Rects: make([]geom.Rect, MaxBatch+1)}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized batch: got %v, want ErrBadFrame", err)
+	}
+	if _, err := EncodeRequest(nil, Request{Op: 99}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("unknown op: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	items := []geom.Item{{ID: 1, Rect: rect(0, 0, 1, 1)}, {ID: 9, Rect: rect(5, 5, 6, 6)}}
+	nbs := []Neighbor{{Item: items[0], Dist2: 0.25}, {Item: items[1], Dist2: 36}}
+	st := &WireStats{Shards: 4, Items: 1234, MBR: rect(-10, -10, 10, 10)}
+
+	cases := []struct {
+		op   byte
+		sets [][]geom.Item
+		nbs  []Neighbor
+		st   *WireStats
+	}{
+		{op: OpWindow, sets: [][]geom.Item{items}},
+		{op: OpPoint, sets: [][]geom.Item{{}}},
+		{op: OpBatch, sets: [][]geom.Item{items, {}, items[:1]}},
+		{op: OpNearest, nbs: nbs},
+		{op: OpNearest, nbs: nil},
+		{op: OpStats, st: st},
+	}
+	for _, c := range cases {
+		buf := AppendOKResponse(nil, c.op, c.sets, c.nbs, c.st)
+		got, err := DecodeResponse(buf)
+		if err != nil {
+			t.Fatalf("op %d: decode: %v", c.op, err)
+		}
+		if got.Op != c.op {
+			t.Errorf("op %d: echoed op %d", c.op, got.Op)
+		}
+		// Re-encoding the decoded result must reproduce the payload
+		// byte-for-byte: the wire form is canonical.
+		again := AppendOKResponse(nil, got.Op, got.Sets, got.Neighbors, got.Stats)
+		if !bytes.Equal(again, buf) {
+			t.Errorf("op %d: re-encode mismatch", c.op)
+		}
+	}
+}
+
+func TestErrorResponseRoundTrip(t *testing.T) {
+	buf := AppendErrResponse(nil, OpWindow, CodeOverloaded, "too busy")
+	res, err := DecodeResponse(buf)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("got %v, want *RemoteError", err)
+	}
+	if remote.Code != CodeOverloaded || remote.Msg != "too busy" || res.Op != OpWindow {
+		t.Errorf("got code=%d msg=%q op=%d", remote.Code, remote.Msg, res.Op)
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	valid, err := EncodeRequest(nil, Request{Op: OpWindow, Rect: rect(0, 0, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := EncodeRequest(nil, Request{Op: OpBatch, Rects: []geom.Rect{rect(0, 0, 1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge the batch count far above the actual rect payload. The count
+	// sits after op(1) + tenantLen(1) + deadline(4) + limit(4).
+	forged := append([]byte(nil), batch...)
+	forged[13] = 0xff // count low byte → 255 rects claimed, 1 present
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown op", []byte{42, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"truncated header", valid[:4]},
+		{"truncated args", valid[:len(valid)-1]},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0)},
+		{"tenant past end", []byte{OpStats, 200}},
+		{"forged batch count", forged},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRequest(c.payload); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: got %v, want ErrBadFrame", c.name, err)
+		}
+	}
+}
+
+func TestDecodeResponseErrors(t *testing.T) {
+	ok := AppendOKResponse(nil, OpWindow, [][]geom.Item{{{ID: 1, Rect: rect(0, 0, 1, 1)}}}, nil, nil)
+	errResp := AppendErrResponse(nil, OpWindow, CodeInternal, "boom")
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"status only", []byte{statusOK}},
+		{"unknown status", []byte{9, OpWindow}},
+		{"unknown op", []byte{statusOK, 42, 0, 0, 0, 0}},
+		{"truncated items", ok[:len(ok)-1]},
+		{"trailing bytes", append(append([]byte(nil), ok...), 0)},
+		{"error trailing bytes", append(append([]byte(nil), errResp...), 0)},
+		{"truncated error msg", errResp[:len(errResp)-2]},
+	}
+	for _, c := range cases {
+		if _, err := DecodeResponse(c.payload); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: got %v, want ErrBadFrame", c.name, err)
+		}
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	got, err := ReadFrame(bytes.NewReader(wire), MaxRequestFrame)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	// Clean EOF only at a frame boundary.
+	if _, err := ReadFrame(bytes.NewReader(nil), MaxRequestFrame); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+	// Cut mid-header and mid-payload are torn, not EOF.
+	for _, cut := range []int{2, len(wire) - 1} {
+		if _, err := ReadFrame(bytes.NewReader(wire[:cut]), MaxRequestFrame); !errors.Is(err, ErrTornFrame) {
+			t.Errorf("cut at %d: got %v, want ErrTornFrame", cut, err)
+		}
+	}
+	// A length prefix above the cap is rejected before any allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(huge), MaxRequestFrame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary bytes through every decoder: framing,
+// request and response. Nothing may panic or allocate past the frame cap,
+// and any payload that decodes must re-encode to the identical bytes (the
+// wire form is canonical).
+func FuzzFrameDecode(f *testing.F) {
+	seedReq := func(req Request) {
+		if buf, err := EncodeRequest(nil, req); err == nil {
+			var frame bytes.Buffer
+			WriteFrame(&frame, buf)
+			f.Add(frame.Bytes())
+			f.Add(buf)
+		}
+	}
+	seedReq(Request{Op: OpWindow, Tenant: "t", Rect: rect(0, 0, 1, 1)})
+	seedReq(Request{Op: OpNearest, X: 1, Y: 2, K: 3})
+	seedReq(Request{Op: OpBatch, Rects: []geom.Rect{rect(0, 0, 1, 1)}})
+	seedReq(Request{Op: OpStats})
+	f.Add(AppendOKResponse(nil, OpNearest, nil, []Neighbor{{Dist2: 1}}, nil))
+	f.Add(AppendErrResponse(nil, OpWindow, CodeDeadline, "late"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Add([]byte{0, 0, 0, 5, 1, 2}) // torn: claims 5 bytes, carries 2
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Framing layer: errors must be the typed ones, payloads bounded.
+		payload, err := ReadFrame(bytes.NewReader(data), MaxRequestFrame)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, ErrTornFrame) && !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("ReadFrame: untyped error %v", err)
+			}
+		} else if len(payload) > MaxRequestFrame {
+			t.Fatalf("ReadFrame returned %d bytes above the cap", len(payload))
+		}
+
+		// Request decoder: success must re-encode byte-identically.
+		if req, err := DecodeRequest(data); err == nil {
+			again, err := EncodeRequest(nil, req)
+			if err != nil {
+				t.Fatalf("decoded request did not re-encode: %v", err)
+			}
+			if !bytes.Equal(again, data) {
+				t.Fatalf("request re-encode mismatch:\n in %x\nout %x", data, again)
+			}
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("DecodeRequest: untyped error %v", err)
+		}
+
+		// Response decoder: same canonicality contract.
+		res, err := DecodeResponse(data)
+		switch e := err.(type) {
+		case nil:
+			again := AppendOKResponse(nil, res.Op, res.Sets, res.Neighbors, res.Stats)
+			if !bytes.Equal(again, data) {
+				t.Fatalf("response re-encode mismatch:\n in %x\nout %x", data, again)
+			}
+		case *RemoteError:
+			again := AppendErrResponse(nil, res.Op, e.Code, e.Msg)
+			if !bytes.Equal(again, data) {
+				t.Fatalf("error response re-encode mismatch:\n in %x\nout %x", data, again)
+			}
+		default:
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("DecodeResponse: untyped error %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"prtree"
+	"prtree/internal/geom"
+	"prtree/internal/hilbert"
+)
+
+// ManifestName is the manifest file inside a sharded index directory.
+const ManifestName = "manifest.json"
+
+// manifestVersion guards the manifest schema.
+const manifestVersion = 1
+
+// Partitioning schemes for Build.
+const (
+	// PartitionHilbert orders items along a 2D Hilbert curve of their
+	// centers and cuts the order into equal-count contiguous runs: shards
+	// are spatially coherent without any grid tuning (the default).
+	PartitionHilbert = "hilbert"
+	// PartitionGrid tiles the world STR-style — ~sqrt(N) equal-count
+	// vertical slabs, each cut into equal-count cells by Y — so shard
+	// boundaries are axis-parallel.
+	PartitionGrid = "grid"
+)
+
+// Manifest describes a sharded index directory: which files hold the
+// shards and how they were built. prtool shard writes it; Open reads it.
+type Manifest struct {
+	Version   int         `json:"version"`
+	Partition string      `json:"partition"`
+	Loader    string      `json:"loader"`
+	Layout    string      `json:"layout"`
+	BlockSize int         `json:"block_size"`
+	Items     int         `json:"items"`
+	Shards    []ShardInfo `json:"shards"`
+}
+
+// ShardInfo is one shard's manifest entry.
+type ShardInfo struct {
+	File  string `json:"file"`
+	Items int    `json:"items"`
+}
+
+// BuildOptions tunes Build.
+type BuildOptions struct {
+	// Shards is the shard count (default 4). It is clamped to the item
+	// count so no shard is empty.
+	Shards int
+	// Partition selects PartitionHilbert (default) or PartitionGrid.
+	Partition string
+	// Loader bulk-loads each shard. The zero value is prtree.Hilbert
+	// (the Loader enum's first member); prtool shard defaults to PR.
+	Loader prtree.Loader
+	// Layout, BlockSize and MemoryItems pass through to prtree.Options.
+	Layout      prtree.PageLayout
+	BlockSize   int
+	MemoryItems int
+	// Parallelism bounds each shard's bulk-load pipeline.
+	Parallelism int
+}
+
+// Build partitions items and bulk-loads one file-backed tree per
+// partition into dir (created if absent), then writes the manifest. Every
+// item lands in exactly one shard, so scatter-gather query results over
+// the set equal the same dataset in a single tree.
+func Build(dir string, items []geom.Item, opt BuildOptions) (*Manifest, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("serve: cannot shard an empty dataset")
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = 4
+	}
+	if opt.Shards > len(items) {
+		opt.Shards = len(items)
+	}
+	if opt.Partition == "" {
+		opt.Partition = PartitionHilbert
+	}
+	var parts [][]geom.Item
+	switch opt.Partition {
+	case PartitionHilbert:
+		parts = partitionHilbert(items, opt.Shards)
+	case PartitionGrid:
+		parts = partitionGrid(items, opt.Shards)
+	default:
+		return nil, fmt.Errorf("serve: unknown partition %q (want %s or %s)",
+			opt.Partition, PartitionHilbert, PartitionGrid)
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			return nil, fmt.Errorf("serve: partition produced empty shard %d of %d", i, len(parts))
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	man := &Manifest{
+		Version:   manifestVersion,
+		Partition: opt.Partition,
+		Loader:    opt.Loader.String(),
+		Layout:    layoutName(opt.Layout),
+		BlockSize: opt.BlockSize,
+		Items:     len(items),
+	}
+	topts := &prtree.Options{
+		BlockSize:   opt.BlockSize,
+		Layout:      opt.Layout,
+		MemoryItems: opt.MemoryItems,
+		Parallelism: opt.Parallelism,
+	}
+	for i, part := range parts {
+		name := fmt.Sprintf("shard-%03d.pr", i)
+		tree, err := prtree.Create(filepath.Join(dir, name), topts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		if err := tree.BulkLoad(opt.Loader, part); err != nil {
+			tree.Close()
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		if err := tree.Close(); err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		man.Shards = append(man.Shards, ShardInfo{File: name, Items: len(part)})
+	}
+	if err := writeManifest(dir, man); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// writeManifest persists the manifest atomically (write + rename).
+func writeManifest(dir string, man *Manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+func layoutName(l prtree.PageLayout) string {
+	if l == prtree.LayoutCompressed {
+		return "compressed"
+	}
+	return "raw"
+}
+
+// partitionHilbert cuts the Hilbert-order of item centers into n
+// equal-count contiguous runs. Ties (identical centers) break by ID so
+// the partition is deterministic for any input order.
+func partitionHilbert(items []geom.Item, n int) [][]geom.Item {
+	world := geom.ItemsMBR(items)
+	q := hilbert.NewQuantizer2D(world, 16)
+	type keyed struct {
+		key uint64
+		it  geom.Item
+	}
+	ks := make([]keyed, len(items))
+	for i, it := range items {
+		ks[i] = keyed{key: q.CenterKey(it.Rect), it: it}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].key != ks[j].key {
+			return ks[i].key < ks[j].key
+		}
+		return ks[i].it.ID < ks[j].it.ID
+	})
+	sorted := make([]geom.Item, len(ks))
+	for i, k := range ks {
+		sorted[i] = k.it
+	}
+	return chunks(sorted, n)
+}
+
+// partitionGrid tiles by ~sqrt(n) equal-count X-slabs, each cut into
+// equal-count cells by Y, yielding exactly n non-empty tiles.
+func partitionGrid(items []geom.Item, n int) [][]geom.Item {
+	sorted := make([]geom.Item, len(items))
+	copy(sorted, items)
+	centerLess := func(axis int) func(a, b geom.Item) bool {
+		return func(a, b geom.Item) bool {
+			var ca, cb float64
+			if axis == 0 {
+				ca, cb = a.Rect.MinX+a.Rect.MaxX, b.Rect.MinX+b.Rect.MaxX
+			} else {
+				ca, cb = a.Rect.MinY+a.Rect.MaxY, b.Rect.MinY+b.Rect.MaxY
+			}
+			if ca != cb {
+				return ca < cb
+			}
+			return a.ID < b.ID
+		}
+	}
+	lessX, lessY := centerLess(0), centerLess(1)
+	sort.Slice(sorted, func(i, j int) bool { return lessX(sorted[i], sorted[j]) })
+	cols := int(math.Sqrt(float64(n)))
+	if cols < 1 {
+		cols = 1
+	}
+	slabs := chunksWeighted(sorted, cols, n)
+	var out [][]geom.Item
+	for i, slab := range slabs {
+		rows := (n / cols)
+		if i < n%cols {
+			rows++
+		}
+		sort.Slice(slab, func(a, b int) bool { return lessY(slab[a], slab[b]) })
+		out = append(out, chunks(slab, rows)...)
+	}
+	return out
+}
+
+// chunks splits sorted into n contiguous near-equal runs (never empty:
+// callers guarantee n <= len(sorted)).
+func chunks(sorted []geom.Item, n int) [][]geom.Item {
+	out := make([][]geom.Item, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		size := len(sorted) / n
+		if i < len(sorted)%n {
+			size++
+		}
+		out = append(out, sorted[start:start+size])
+		start += size
+	}
+	return out
+}
+
+// chunksWeighted splits sorted into cols runs whose sizes are proportional
+// to the number of tiles each run will be cut into (n tiles total), so
+// every final tile holds a near-equal item count.
+func chunksWeighted(sorted []geom.Item, cols, n int) [][]geom.Item {
+	out := make([][]geom.Item, 0, cols)
+	start, tilesDone := 0, 0
+	for i := 0; i < cols; i++ {
+		rows := n / cols
+		if i < n%cols {
+			rows++
+		}
+		tilesDone += rows
+		end := len(sorted) * tilesDone / n
+		if end < start+rows { // every tile must get at least one item
+			end = start + rows
+		}
+		if i == cols-1 || end > len(sorted) {
+			end = len(sorted)
+		}
+		out = append(out, sorted[start:end])
+		start = end
+	}
+	return out
+}
+
+// OpenOptions tunes Open.
+type OpenOptions struct {
+	// CachePages is the global page-cache budget shared by the whole set:
+	// it is split evenly across the shards' lock-striped pagers, so total
+	// cached pages never exceed the budget regardless of shard count.
+	// 0 or negative means unbounded (every page stays resident).
+	CachePages int
+	// Policy selects the bounded-cache eviction policy (lru or s3fifo).
+	Policy prtree.EvictionPolicy
+	// Prefetch enables structure-aware read-ahead on every shard.
+	Prefetch bool
+	// Mmap serves shard reads through read-only memory mappings where the
+	// platform supports it.
+	Mmap bool
+}
+
+// Set is an open sharded index: N file-backed trees queried scatter-gather
+// with results merged into a deterministic order. All read methods are
+// safe for any number of concurrent callers.
+type Set struct {
+	dir      string
+	manifest Manifest
+	trees    []*prtree.Tree
+	items    int
+	mbr      geom.Rect
+}
+
+// Open opens the sharded index directory dir. The manifest names the
+// shard files; opt controls caching (one budget across all shards),
+// eviction policy, prefetch and mmap.
+func Open(dir string, opt OpenOptions) (*Set, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("serve: parsing manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("serve: manifest version %d (want %d)", man.Version, manifestVersion)
+	}
+	if len(man.Shards) == 0 {
+		return nil, fmt.Errorf("serve: manifest lists no shards")
+	}
+	perShard := -1 // unbounded
+	if opt.CachePages > 0 {
+		perShard = opt.CachePages / len(man.Shards)
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
+	s := &Set{dir: dir, manifest: man, mbr: geom.EmptyRect()}
+	for _, si := range man.Shards {
+		tree, err := prtree.Open(filepath.Join(dir, si.File), &prtree.Options{
+			CacheCapacity: perShard,
+			Eviction:      opt.Policy,
+			Prefetch:      opt.Prefetch,
+			Mmap:          opt.Mmap,
+		})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serve: opening shard %s: %w", si.File, err)
+		}
+		s.trees = append(s.trees, tree)
+		s.items += tree.Len()
+		if tree.Len() > 0 {
+			s.mbr = s.mbr.Union(tree.MBR())
+		}
+	}
+	return s, nil
+}
+
+// Close closes every shard, reporting the first error.
+func (s *Set) Close() error {
+	var first error
+	for _, t := range s.trees {
+		if t == nil {
+			continue
+		}
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.trees = nil
+	return first
+}
+
+// Shards returns the shard count.
+func (s *Set) Shards() int { return len(s.trees) }
+
+// Len returns the total item count across shards.
+func (s *Set) Len() int { return s.items }
+
+// MBR returns the bounding box of the whole set.
+func (s *Set) MBR() geom.Rect { return s.mbr }
+
+// Manifest returns the manifest the set was opened from.
+func (s *Set) Manifest() Manifest { return s.manifest }
+
+// scatter runs fn once per shard concurrently and returns the first error.
+func (s *Set) scatter(fn func(i int, t *prtree.Tree) error) error {
+	if len(s.trees) == 1 {
+		return fn(0, s.trees[0])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.trees))
+	for i, t := range s.trees {
+		wg.Add(1)
+		go func(i int, t *prtree.Tree) {
+			defer wg.Done()
+			errs[i] = fn(i, t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortItems puts gathered results into the set's deterministic order:
+// ascending (ID, MinX, MinY, MaxX, MaxY).
+func sortItems(items []geom.Item) {
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Rect.MinX != b.Rect.MinX {
+			return a.Rect.MinX < b.Rect.MinX
+		}
+		if a.Rect.MinY != b.Rect.MinY {
+			return a.Rect.MinY < b.Rect.MinY
+		}
+		if a.Rect.MaxX != b.Rect.MaxX {
+			return a.Rect.MaxX < b.Rect.MaxX
+		}
+		return a.Rect.MaxY < b.Rect.MaxY
+	})
+}
+
+// gather collects one query across every shard and merges the results in
+// deterministic order, applying limit after the merge.
+func (s *Set) gather(ctx context.Context, build func() prtree.Query, limit int) ([]geom.Item, error) {
+	perShard := make([][]geom.Item, len(s.trees))
+	err := s.scatter(func(i int, t *prtree.Tree) error {
+		q := build().WithContext(ctx)
+		if limit > 0 {
+			// Each shard can satisfy at most the whole limit; the merge
+			// trims the union deterministically below.
+			q = q.WithLimit(limit)
+		}
+		out, err := t.Collect(q)
+		perShard[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, part := range perShard {
+		n += len(part)
+	}
+	merged := make([]geom.Item, 0, n)
+	for _, part := range perShard {
+		merged = append(merged, part...)
+	}
+	sortItems(merged)
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, nil
+}
+
+// Window reports every item intersecting r, merged across shards into
+// ascending ID order. limit <= 0 means unlimited; with a limit the first
+// `limit` items of the merged order are returned.
+func (s *Set) Window(ctx context.Context, r geom.Rect, limit int) ([]geom.Item, error) {
+	return s.gather(ctx, func() prtree.Query { return prtree.Window(r) }, limit)
+}
+
+// Contained reports every item fully contained in r.
+func (s *Set) Contained(ctx context.Context, r geom.Rect, limit int) ([]geom.Item, error) {
+	return s.gather(ctx, func() prtree.Query { return prtree.Contained(r) }, limit)
+}
+
+// Point reports every item containing the point (x, y).
+func (s *Set) Point(ctx context.Context, x, y float64, limit int) ([]geom.Item, error) {
+	return s.gather(ctx, func() prtree.Query { return prtree.Point(x, y) }, limit)
+}
+
+// Nearest returns the k items closest to (x, y) across all shards, in
+// ascending (distance, ID) order — exactly the single-tree result: each
+// shard reports its local top k and the merge keeps the global top k
+// under the tree's own deterministic tie-breaking.
+func (s *Set) Nearest(ctx context.Context, x, y float64, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	perShard := make([][]prtree.Neighbor, len(s.trees))
+	err := s.scatter(func(i int, t *prtree.Tree) error {
+		out, err := t.CollectNearest(prtree.Nearest(x, y, k).WithContext(ctx))
+		perShard[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged []Neighbor
+	for _, part := range perShard {
+		for _, nb := range part {
+			merged = append(merged, Neighbor{Item: nb.Item, Dist2: nb.Dist2})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist2 != merged[j].Dist2 {
+			return merged[i].Dist2 < merged[j].Dist2
+		}
+		return merged[i].Item.ID < merged[j].Item.ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+// Batch runs every window query and returns per-query merged results,
+// indexed like rects. Shards process the whole batch concurrently.
+func (s *Set) Batch(ctx context.Context, rects []geom.Rect, limit int) ([][]geom.Item, error) {
+	perShard := make([][][]geom.Item, len(s.trees))
+	err := s.scatter(func(i int, t *prtree.Tree) error {
+		outs := make([][]geom.Item, len(rects))
+		for qi, r := range rects {
+			q := prtree.Window(r).WithContext(ctx)
+			if limit > 0 {
+				q = q.WithLimit(limit)
+			}
+			out, err := t.Collect(q)
+			if err != nil {
+				return err
+			}
+			outs[qi] = out
+		}
+		perShard[i] = outs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]geom.Item, len(rects))
+	for qi := range rects {
+		var merged []geom.Item
+		for si := range perShard {
+			merged = append(merged, perShard[si][qi]...)
+		}
+		sortItems(merged)
+		if limit > 0 && len(merged) > limit {
+			merged = merged[:limit]
+		}
+		out[qi] = merged
+	}
+	return out, nil
+}
+
+// SetStats aggregates the set's I/O and cache counters.
+type SetStats struct {
+	Shards int
+	Items  int
+	IO     prtree.IOStats
+	Cache  prtree.CacheStats
+}
+
+// Stats sums the per-shard backend and pager counters. The cache capacity
+// reported is the summed per-shard budget; the policy is the shared one.
+func (s *Set) Stats() SetStats {
+	st := SetStats{Shards: len(s.trees), Items: s.items}
+	for i, t := range s.trees {
+		io := t.IOStats()
+		st.IO.Reads += io.Reads
+		st.IO.Writes += io.Writes
+		st.IO.PrefetchReads += io.PrefetchReads
+		cs := t.CacheStats()
+		st.Cache.Hits += cs.Hits
+		st.Cache.Misses += cs.Misses
+		st.Cache.Evictions += cs.Evictions
+		st.Cache.PrefetchIssued += cs.PrefetchIssued
+		st.Cache.PrefetchUsed += cs.PrefetchUsed
+		st.Cache.Resident += cs.Resident
+		if i == 0 {
+			st.Cache.Policy = cs.Policy
+			st.Cache.Capacity = cs.Capacity
+		} else if cs.Capacity > 0 && st.Cache.Capacity > 0 {
+			st.Cache.Capacity += cs.Capacity
+		}
+	}
+	return st
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"prtree"
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/workload"
+)
+
+// singleTree bulk-loads items into one file-backed tree, the reference
+// every sharded result must match bit for bit.
+func singleTree(t *testing.T, items []geom.Item) *prtree.Tree {
+	t.Helper()
+	tree, err := prtree.Create(filepath.Join(t.TempDir(), "single.pr"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad(prtree.Hilbert, items); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tree.Close() })
+	return tree
+}
+
+func buildSet(t *testing.T, items []geom.Item, shards int, partition string) *Set {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := Build(dir, items, BuildOptions{Shards: shards, Partition: partition}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { set.Close() })
+	return set
+}
+
+// TestShardEquivalence is the acceptance property: every query kind over
+// every partitioning and shard count returns results bit-identical to the
+// same dataset served from one tree.
+func TestShardEquivalence(t *testing.T) {
+	items := dataset.Western(3000, 42)
+	n := len(items)
+	world := geom.ItemsMBR(items)
+	tree := singleTree(t, items)
+	ctx := context.Background()
+
+	windows := workload.Squares(world, 0.01, 8, 7)
+	big := workload.Squares(world, 0.05, 4, 11)
+
+	for _, partition := range []string{PartitionHilbert, PartitionGrid} {
+		for _, shards := range []int{1, 3, 4} {
+			t.Run(fmt.Sprintf("%s/%d", partition, shards), func(t *testing.T) {
+				set := buildSet(t, items, shards, partition)
+				if set.Len() != n {
+					t.Fatalf("set holds %d items, want %d", set.Len(), n)
+				}
+				if set.MBR() != world {
+					t.Fatalf("set MBR %v, want %v", set.MBR(), world)
+				}
+
+				// Window: intersection queries.
+				for _, w := range windows {
+					got, err := set.Window(ctx, w, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := tree.Collect(prtree.Window(w))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sortItems(want)
+					assertSameItems(t, "window", got, want)
+				}
+
+				// Containment.
+				for _, w := range big {
+					got, err := set.Contained(ctx, w, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := tree.Collect(prtree.Contained(w))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sortItems(want)
+					assertSameItems(t, "contained", got, want)
+				}
+
+				// Point stabbing at window centers.
+				for _, w := range windows {
+					x, y := w.Center()
+					got, err := set.Point(ctx, x, y, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := tree.Collect(prtree.Point(x, y))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sortItems(want)
+					assertSameItems(t, "point", got, want)
+				}
+
+				// k-NN at several centers and k values, including k beyond
+				// any single shard's item count.
+				for _, k := range []int{1, 10, n/shards + 5} {
+					x, y := windows[0].Center()
+					got, err := set.Nearest(ctx, x, y, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := tree.CollectNearest(prtree.Nearest(x, y, k))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("nearest k=%d: %d results, want %d", k, len(got), len(want))
+					}
+					for i := range got {
+						if got[i].Item != want[i].Item || got[i].Dist2 != want[i].Dist2 {
+							t.Fatalf("nearest k=%d: result %d = %+v, want %+v", k, i, got[i], want[i])
+						}
+					}
+				}
+
+				// Batch matches per-rect windows.
+				sets, err := set.Batch(ctx, windows, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(sets) != len(windows) {
+					t.Fatalf("batch returned %d sets, want %d", len(sets), len(windows))
+				}
+				for i, w := range windows {
+					single, err := set.Window(ctx, w, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameItems(t, "batch", sets[i], single)
+				}
+
+				// Limits: the subset is each shard's prefix merged and
+				// trimmed — deterministic (repeatable) and drawn from the
+				// full result, though not necessarily its global prefix.
+				full, err := set.Window(ctx, big[0], 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(full) > 3 {
+					lim, err := set.Window(ctx, big[0], 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(lim) != 3 {
+						t.Fatalf("limit: got %d items, want 3", len(lim))
+					}
+					inFull := make(map[geom.Item]bool, len(full))
+					for _, it := range full {
+						inFull[it] = true
+					}
+					for i, it := range lim {
+						if !inFull[it] {
+							t.Fatalf("limit: item %v not in the full result", it)
+						}
+						if i > 0 && lim[i-1].ID >= it.ID {
+							t.Fatalf("limit: results out of order at %d", i)
+						}
+					}
+					again, err := set.Window(ctx, big[0], 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameItems(t, "limit determinism", again, lim)
+				}
+			})
+		}
+	}
+}
+
+func assertSameItems(t *testing.T, label string, got, want []geom.Item) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: got %d items %v..., want %d items %v...", label, len(got), head(got), len(want), head(want))
+	}
+}
+
+func head(items []geom.Item) []geom.Item {
+	if len(items) > 3 {
+		return items[:3]
+	}
+	return items
+}
+
+func TestBuildManifest(t *testing.T) {
+	items := dataset.Western(500, 9)
+	dir := t.TempDir()
+	man, err := Build(dir, items, BuildOptions{Shards: 3, Partition: PartitionGrid, Loader: prtree.PR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Partition != PartitionGrid || man.Loader != "PR" || len(man.Shards) != 3 {
+		t.Fatalf("manifest %+v", man)
+	}
+	total := 0
+	for _, si := range man.Shards {
+		if si.Items == 0 {
+			t.Fatalf("empty shard in %+v", man.Shards)
+		}
+		total += si.Items
+	}
+	if total != len(items) {
+		t.Fatalf("shards hold %d items, want %d", total, len(items))
+	}
+	set, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if got := set.Manifest(); got.Loader != "PR" || got.Items != len(items) {
+		t.Fatalf("reopened manifest %+v", got)
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Build(dir, nil, BuildOptions{}); err == nil {
+		t.Error("empty dataset: want error")
+	}
+	items := dataset.Western(100, 1)
+	if _, err := Build(dir, items, BuildOptions{Partition: "pie"}); err == nil {
+		t.Error("unknown partition: want error")
+	}
+	// More shards than items clamps rather than producing empty shards.
+	man, err := Build(dir, items[:3], BuildOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Shards) != 3 {
+		t.Errorf("got %d shards for 3 items, want 3", len(man.Shards))
+	}
+}
+
+// TestSharedCacheBudget checks the global CachePages budget is split
+// across shards: summed capacity never exceeds the budget.
+func TestSharedCacheBudget(t *testing.T) {
+	items := dataset.Western(2000, 3)
+	dir := t.TempDir()
+	if _, err := Build(dir, items, BuildOptions{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := Open(dir, OpenOptions{CachePages: 8, Policy: prtree.EvictS3FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	st := set.Stats()
+	if st.Cache.Capacity != 8 {
+		t.Errorf("summed cache capacity %d, want 8", st.Cache.Capacity)
+	}
+	// Queries must still work under the tight budget and count IO.
+	if _, err := set.Window(context.Background(), set.MBR(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if st = set.Stats(); st.IO.Reads == 0 {
+		t.Error("no reads counted under a bounded cache")
+	}
+}
+
+// TestSetDeadline checks an expired context aborts scatter-gather through
+// the query executor's poll points.
+func TestSetDeadline(t *testing.T) {
+	items := dataset.Western(2000, 5)
+	set := buildSet(t, items, 4, PartitionHilbert)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := set.Window(ctx, set.MBR(), 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("window: got %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := set.Nearest(ctx, 0, 0, 10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("nearest: got %v, want context.DeadlineExceeded", err)
+	}
+}

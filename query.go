@@ -2,6 +2,7 @@ package prtree
 
 import (
 	"context"
+	"fmt"
 	"iter"
 
 	"prtree/internal/geom"
@@ -176,6 +177,26 @@ func (t *Tree) Count(q Query) (int, error) {
 	}
 	err := t.Run(q, nil)
 	return q.stats.Results, err
+}
+
+// CollectNearest executes a Nearest query and returns the neighbors with
+// their squared distances, in ascending (distance, ID) order. It is the
+// distance-carrying sibling of Collect — scatter-gather servers merge
+// per-shard k-NN results by (Dist2, ID), which Item alone cannot support —
+// and honors WithContext, WithLimit and WithStats like every other
+// consumer. Non-Nearest queries are rejected.
+func (t *Tree) CollectNearest(q Query) ([]Neighbor, error) {
+	if q.kind != queryNearest {
+		return nil, fmt.Errorf("prtree: CollectNearest requires a Nearest query")
+	}
+	out, st, err := t.inner.RunNearest(q.x, q.y, q.k, rtree.RunOptions{
+		Limit:  q.limit,
+		Cancel: cancelPoll(q.ctx),
+	})
+	if q.stats != nil {
+		*q.stats = st
+	}
+	return out, err
 }
 
 // --- v1 query shims -------------------------------------------------------
