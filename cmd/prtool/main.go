@@ -26,9 +26,16 @@
 //
 // With -index and no -in, the index file is opened in place (no rebuild);
 // with -in and no -index, the tree is built in memory as before.
+//
+// Exit codes: 0 ok; 1 operational failure (file could not be opened or
+// read, I/O error); 2 usage error; 3 corruption found (checksum or
+// structure verification failed, or the index/log is damaged beyond
+// opening) — so scripts can tell "run fsck's repair path" from "the path
+// was wrong".
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -152,7 +159,7 @@ func main() {
 	case *index != "":
 		tree, err = prtree.Open(*index, opts)
 		if err != nil {
-			fatal(err)
+			fatalOpen(err)
 		}
 		defer tree.Close()
 	case *in != "":
@@ -245,12 +252,12 @@ func main() {
 		}
 		if err := tree.CheckPages(); err != nil {
 			fmt.Printf("checksums: FAILED: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitCorrupt)
 		}
 		fmt.Println("checksums: ok (every in-use page verified)")
 		if err := tree.Validate(); err != nil {
 			fmt.Printf("structure: FAILED: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitCorrupt)
 		}
 		fmt.Println("structure: ok")
 	case "recover":
@@ -268,7 +275,7 @@ func main() {
 		fmt.Printf("items:    %d\n", tree.Len())
 		if err := tree.Validate(); err != nil {
 			fmt.Printf("structure: FAILED: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitCorrupt)
 		}
 		if err := tree.Sync(); err != nil {
 			fatal(err)
@@ -310,6 +317,26 @@ func usage() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "prtool:", err)
+	os.Exit(1)
+}
+
+// exitCorrupt is the "corruption found" exit code, distinct from plain
+// operational failure (1) and usage errors (2).
+const exitCorrupt = 3
+
+// fatalOpen reports a failed index open, classifying damaged-file errors
+// (bad magic, bad version, checksum mismatch, truncation, corrupt WAL)
+// as corruption so callers can script fsck/recover runs.
+func fatalOpen(err error) {
+	fmt.Fprintln(os.Stderr, "prtool:", err)
+	for _, sentinel := range []error{
+		prtree.ErrChecksum, prtree.ErrBadMagic, prtree.ErrBadVersion,
+		prtree.ErrTruncated, prtree.ErrWALCorrupt,
+	} {
+		if errors.Is(err, sentinel) {
+			os.Exit(exitCorrupt)
+		}
+	}
 	os.Exit(1)
 }
 

@@ -12,9 +12,17 @@
 //
 // Queries scatter across every shard concurrently and gather into a
 // deterministic merged order; results are bit-identical to the same
-// dataset served from one tree. GET /statsz reports pager, prefetch and
-// IO counters plus per-endpoint latency histograms; GET /healthz is the
-// readiness probe (503 while draining).
+// dataset served from one tree. A shard that fails mid-query (backend
+// error, checksum mismatch) is quarantined instead of failing the query:
+// responses degrade to the healthy subset (and say so), and a background
+// supervisor reopens, scrubs and restores the shard — see -maxrecoveries
+// and -recoverybackoff. GET /statsz reports pager, prefetch and IO
+// counters, per-shard health and per-endpoint latency histograms; GET
+// /healthz is the readiness probe (ok / degraded / 503 down-or-draining).
+//
+// The -faultshard/-faultreads and -netfault/-netfaultafter flags inject
+// deterministic storage and network faults for chaos testing; they have
+// no place in production.
 package main
 
 import (
@@ -43,7 +51,14 @@ func main() {
 	tenantCap := flag.Int("tenantcap", 0, "per-tenant in-flight request cap (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline for requests that carry none (0 = none)")
 	maxDeadline := flag.Duration("maxdeadline", 0, "clamp on client-supplied deadlines (0 = no clamp)")
+	connTimeout := flag.Duration("conntimeout", 0, "per-connection frame read/write deadline, the slow-loris guard (0 = none)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long graceful drain waits for in-flight requests")
+	maxRecoveries := flag.Int("maxrecoveries", 5, "reopen attempts per quarantined shard before it is declared failed (negative = retry forever)")
+	recoveryBackoff := flag.Duration("recoverybackoff", 100*time.Millisecond, "initial shard-recovery retry delay (doubles per attempt, capped)")
+	faultShard := flag.Int("faultshard", 0, "chaos: shard index for -faultreads")
+	faultReads := flag.Int64("faultreads", 0, "chaos: inject a read fault into shard -faultshard after N page reads (0 = off)")
+	netFault := flag.String("netfault", "none", "chaos: network fault on the binary listener: none|reset|torn|stall|drip")
+	netFaultAfter := flag.Int64("netfaultafter", 0, "chaos: response frames before the network fault fires")
 	flag.Parse()
 
 	if *shards == "" {
@@ -54,12 +69,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	netFaultMode, err := serve.ParseNetFaultMode(*netFault)
+	if err != nil {
+		fatal(err)
+	}
 
 	set, err := serve.Open(*shards, serve.OpenOptions{
-		CachePages: *cache,
-		Policy:     policy,
-		Prefetch:   *prefetch,
-		Mmap:       *useMmap,
+		CachePages:      *cache,
+		Policy:          policy,
+		Prefetch:        *prefetch,
+		Mmap:            *useMmap,
+		MaxRecoveries:   *maxRecoveries,
+		RecoveryBackoff: *recoveryBackoff,
+		FaultShard:      *faultShard,
+		FaultReadsAfter: *faultReads,
 	})
 	if err != nil {
 		fatal(err)
@@ -71,6 +94,7 @@ func main() {
 		TenantCap:       *tenantCap,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		ConnTimeout:     *connTimeout,
 	})
 
 	var wg sync.WaitGroup
@@ -88,6 +112,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	addr := blis.Addr()
+	if netFaultMode != serve.NetFaultNone {
+		fmt.Printf("prtreeserve: CHAOS — injecting %s network faults after %d frames\n", netFaultMode, *netFaultAfter)
+		blis = serve.NewFaultyListener(blis, serve.NetFault{Mode: netFaultMode, After: *netFaultAfter})
+	}
 	serveOn("binary", srv.ServeBinary, blis)
 	httpAddr := ""
 	if *httpBind != "" {
@@ -100,7 +129,7 @@ func main() {
 	}
 
 	fmt.Printf("prtreeserve: serving %d shards (%d items) from %s\n", set.Shards(), set.Len(), *shards)
-	fmt.Printf("prtreeserve: binary %s  http %s\n", blis.Addr(), orNone(httpAddr))
+	fmt.Printf("prtreeserve: binary %s  http %s\n", addr, orNone(httpAddr))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

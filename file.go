@@ -31,6 +31,9 @@ func Create(path string, opts *Options) (*Tree, error) {
 		}
 		dev = m
 	}
+	if o.WrapBackend != nil {
+		dev = o.WrapBackend(dev)
+	}
 	counting, pager := newTree(dev, o)
 	inner := rtree.New(pager, rtree.Config{
 		Fanout: o.Fanout,
@@ -69,6 +72,9 @@ func Open(path string, opts *Options) (*Tree, error) {
 			return nil, fmt.Errorf("prtree: open %s: %w", path, merr)
 		}
 		dev = m
+	}
+	if o.WrapBackend != nil {
+		dev = o.WrapBackend(dev)
 	}
 	counting, pager := newTree(dev, o)
 	inner, err := rtree.OpenFromMeta(pager, fb.Meta())

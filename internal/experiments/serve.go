@@ -32,7 +32,10 @@ func Serve(cfg Config) Table {
 	t := Table{
 		ID:      "serve",
 		Title:   "network serving: scatter-gather window queries vs client concurrency",
-		Columns: []string{"clients", "requests", "qps", "mean", "p50", "p95", "p99", "errors"},
+		Columns: []string{"clients", "requests", "qps", "mean", "p50", "p95", "p99", "errors", "retries", "hedges"},
+	}
+	failRow := func(lead string) []string {
+		return []string{lead, "-", "-", "-", "-", "-", "-", "1", "-", "-"}
 	}
 
 	addr := cfg.ServeAddr
@@ -42,7 +45,7 @@ func Serve(cfg Config) Table {
 		local, err := startLocalServer(cfg)
 		if err != nil {
 			t.Notes = fmt.Sprintf("serve experiment failed to start: %v", err)
-			t.Rows = append(t.Rows, []string{"-", "-", "-", "-", "-", "-", "-", "1"})
+			t.Rows = append(t.Rows, failRow("-"))
 			return t
 		}
 		addr, world, cleanup = local.addr, local.world, local.cleanup
@@ -51,14 +54,14 @@ func Serve(cfg Config) Table {
 		cl, err := serve.Dial(addr)
 		if err != nil {
 			t.Notes = fmt.Sprintf("serve experiment failed to reach %s: %v", addr, err)
-			t.Rows = append(t.Rows, []string{"-", "-", "-", "-", "-", "-", "-", "1"})
+			t.Rows = append(t.Rows, failRow("-"))
 			return t
 		}
 		st, err := cl.Stats()
 		cl.Close()
 		if err != nil {
 			t.Notes = fmt.Sprintf("serve experiment failed to query %s: %v", addr, err)
-			t.Rows = append(t.Rows, []string{"-", "-", "-", "-", "-", "-", "-", "1"})
+			t.Rows = append(t.Rows, failRow("-"))
 			return t
 		}
 		world = st.MBR
@@ -80,9 +83,13 @@ func Serve(cfg Config) Table {
 			Clients:  clients,
 			Requests: requests,
 			Rects:    rects,
+			// The robust client (retries + circuit breaker, no hedging:
+			// it would double-count latency samples under full load) is
+			// what production callers run, so measure through it.
+			Robust: &serve.RobustOptions{},
 		})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", clients), "-", "-", "-", "-", "-", "-", "1"})
+			t.Rows = append(t.Rows, failRow(fmt.Sprintf("%d", clients)))
 			continue
 		}
 		t.Rows = append(t.Rows, []string{
@@ -94,6 +101,8 @@ func Serve(cfg Config) Table {
 			fmtLatency(res.P95),
 			fmtLatency(res.P99),
 			fmt.Sprintf("%d", res.Errors),
+			fmt.Sprintf("%d", res.Retries),
+			fmt.Sprintf("%d", res.Hedges),
 		})
 	}
 	return t

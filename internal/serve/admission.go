@@ -15,15 +15,31 @@ var ErrOverloaded = errors.New("serve: tenant in-flight cap reached")
 // admission enforces a per-tenant in-flight request cap. The zero tenant
 // id shares one bucket named "default", so anonymous clients are capped
 // too rather than uncapped.
+//
+// Internally the cap is tri-state: negative means unlimited, zero rejects
+// every request (drain-to-zero), positive caps. The public Config keeps
+// its "<= 0 disables" convention; normCap translates. In-flight counts
+// are tracked even while the cap is unlimited so the cap can change at
+// runtime (SetTenantCap) without leaking or double-releasing slots held
+// by requests admitted under the old cap.
 type admission struct {
-	cap      int // per-tenant in-flight cap; <= 0 means unlimited
 	mu       sync.Mutex
+	cap      int
 	inflight map[string]int
 	rejected uint64
 }
 
+// normCap translates the public Config convention (<= 0 disables) into
+// the internal tri-state (negative = unlimited).
+func normCap(c int) int {
+	if c <= 0 {
+		return -1
+	}
+	return c
+}
+
 func newAdmission(cap int) *admission {
-	return &admission{cap: cap, inflight: make(map[string]int)}
+	return &admission{cap: normCap(cap), inflight: make(map[string]int)}
 }
 
 // normTenant maps the empty tenant onto the shared default bucket.
@@ -37,13 +53,13 @@ func normTenant(t string) string {
 // acquire admits one request for tenant, or reports ErrOverloaded. Every
 // successful acquire must be paired with exactly one release.
 func (a *admission) acquire(tenant string) error {
-	if a == nil || a.cap <= 0 {
+	if a == nil {
 		return nil
 	}
 	tenant = normTenant(tenant)
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.inflight[tenant] >= a.cap {
+	if a.cap >= 0 && a.inflight[tenant] >= a.cap {
 		a.rejected++
 		return fmt.Errorf("%w (tenant %q, cap %d)", ErrOverloaded, tenant, a.cap)
 	}
@@ -53,7 +69,7 @@ func (a *admission) acquire(tenant string) error {
 
 // release returns tenant's slot.
 func (a *admission) release(tenant string) {
-	if a == nil || a.cap <= 0 {
+	if a == nil {
 		return
 	}
 	tenant = normTenant(tenant)
@@ -64,6 +80,27 @@ func (a *admission) release(tenant string) {
 	} else {
 		delete(a.inflight, tenant)
 	}
+}
+
+// setCap changes the cap at runtime: < 0 unlimited, 0 reject-all, > 0
+// cap. In-flight requests admitted under the old cap drain normally.
+func (a *admission) setCap(cap int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.cap = cap
+	a.mu.Unlock()
+}
+
+// capNow returns the current cap in the internal tri-state convention.
+func (a *admission) capNow() int {
+	if a == nil {
+		return -1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cap
 }
 
 // rejectedCount returns the cumulative rejections.

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"prtree/internal/dataset"
+	"prtree/internal/geom"
+	"prtree/internal/workload"
+)
+
+// TestChaosGate is the CI chaos gate, in-process: one shard is
+// fault-injected mid-run through the public chaos knobs while the
+// listener periodically resets connections, and a robust-client load run
+// must produce ZERO wrong results against the oracle — every response is
+// either exact or a correctly-flagged degraded subset — with a bounded
+// error rate and eventual recovery to full health.
+func TestChaosGate(t *testing.T) {
+	items := dataset.Western(4000, 99)
+	world := geom.ItemsMBR(items)
+	dir := buildDir(t, items, 3)
+
+	set, err := Open(dir, OpenOptions{
+		FaultShard:         1,
+		FaultReadsAfter:    5, // past Open's root read, early into the load
+		RecoveryBackoff:    time.Millisecond,
+		RecoveryMaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	srv := New(Config{Set: set, ConnTimeout: 2 * time.Second})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	flis := NewFaultyListener(lis, NetFault{Mode: NetFaultReset, After: 30})
+	go srv.ServeBinary(flis)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// The workload mixes small windows with the full world (which reads
+	// every shard), and the oracle holds each rect's complete answer.
+	rects := workload.Squares(world, 0.02, 15, 5)
+	rects = append(rects, world)
+	oracle := make([][]geom.Item, len(rects))
+	for i, r := range rects {
+		oracle[i] = bruteWindow(items, r)
+	}
+
+	res, err := RunLoad(LoadOptions{
+		Addr:     addr,
+		Clients:  8,
+		Requests: 400,
+		Rects:    rects,
+		Oracle:   oracle,
+		Robust: &RobustOptions{
+			RetryBackoff:    time.Millisecond,
+			RetryMaxBackoff: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate: no response — degraded or not — may contradict the oracle.
+	if res.Wrong != 0 {
+		t.Fatalf("%d wrong results against the oracle", res.Wrong)
+	}
+	// Injected resets and the mid-run quarantine may cost some requests
+	// even through retries, but the vast majority must land.
+	if res.Errors > res.Requests/10 {
+		t.Fatalf("%d/%d requests failed — unbounded error rate", res.Errors, res.Requests)
+	}
+	if !flis.Fired() {
+		t.Fatal("network fault never fired")
+	}
+
+	// The injected storage fault must have tripped quarantine, and the
+	// supervisor must bring the shard back.
+	waitHealthy(t, set, 5*time.Second)
+	sd := set.Stats().Status[1]
+	if sd.Quarantines < 1 || sd.Recoveries < 1 {
+		t.Fatalf("shard 1 status %+v, want at least one quarantine and one recovery", sd)
+	}
+
+	// Post-chaos, the set answers the full world exactly.
+	got, p, err := set.Window(context.Background(), world, 0)
+	if err != nil || p.Degraded() {
+		t.Fatalf("post-chaos window: partial=%v err=%v", p, err)
+	}
+	assertSameItems(t, "post-chaos", got, bruteWindow(items, world))
+
+	t.Logf("chaos gate: requests=%d errors=%d degraded=%d retries=%d breakerOpens=%d",
+		res.Requests, res.Errors, res.Degraded, res.Retries, res.BreakerOpens)
+}

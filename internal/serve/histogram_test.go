@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramEmpty: an empty histogram answers 0 everywhere instead of
+// inventing a latency.
+func TestHistogramEmpty(t *testing.T) {
+	var h histogram
+	if h.Count() != 0 {
+		t.Fatalf("count %d, want 0", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) = %v on empty histogram, want 0", q, got)
+		}
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("Mean() = %v on empty histogram, want 0", got)
+	}
+}
+
+// TestHistogramSingleSample: with one observation, every quantile is that
+// sample's bucket bound — p50, p95 and p99 must agree exactly.
+func TestHistogramSingleSample(t *testing.T) {
+	var h histogram
+	h.Observe(3 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count %d, want 1", h.Count())
+	}
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 != p95 || p95 != p99 {
+		t.Fatalf("single sample: p50=%v p95=%v p99=%v, want all equal", p50, p95, p99)
+	}
+	// The bound brackets the sample with the documented ~±25% bucket
+	// resolution (upper bound is at most growth× the sample).
+	if p50 < 3*time.Millisecond || p50 > time.Duration(float64(3*time.Millisecond)*histGrowth) {
+		t.Fatalf("p50 %v does not bracket the 3ms sample", p50)
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Fatalf("mean %v, want exactly 3ms (mean is computed from the raw sum)", h.Mean())
+	}
+}
+
+// TestHistogramOneBucket: many identical observations land in one bucket,
+// pinning p50 == p95 == p99 to that bucket's bound.
+func TestHistogramOneBucket(t *testing.T) {
+	var h histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	want := h.Quantile(0.50)
+	if want == 0 {
+		t.Fatal("p50 is 0 with 1000 observations")
+	}
+	for _, q := range []float64{0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want %v (single occupied bucket)", q, got, want)
+		}
+	}
+	if h.Mean() != 500*time.Microsecond {
+		t.Fatalf("mean %v, want 500µs", h.Mean())
+	}
+}
+
+// TestHistogramExtremes: sub-base and beyond-top observations land in the
+// first and catch-all buckets instead of being dropped.
+func TestHistogramExtremes(t *testing.T) {
+	var h histogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(10 * time.Minute)
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+	if got := h.Quantile(0.01); got != histBase {
+		t.Fatalf("low quantile %v, want first bucket bound %v", got, histBase)
+	}
+	if got := h.Quantile(1.0); got != histBounds[histBuckets-1] {
+		t.Fatalf("top quantile %v, want the catch-all bound", got)
+	}
+}

@@ -30,6 +30,18 @@ type LoadOptions struct {
 	DeadlineMillis uint32
 	// Limit bounds per-query results (0 = unlimited).
 	Limit uint32
+	// Robust, when set, routes every request through one shared
+	// RobustClient (retries, hedging, circuit breaker) instead of one
+	// plain connection per worker. Addr is taken from LoadOptions.
+	Robust *RobustOptions
+	// Oracle, when non-nil, holds the expected full result of each
+	// window query, aligned with Rects. Responses are then verified:
+	// a non-degraded response must equal its oracle exactly (anything
+	// else counts as Wrong), and a degraded response must be a subset
+	// naming at least one failed shard. Verification applies only to
+	// unlimited window workloads (Limit == 0, NearestK == 0), where the
+	// full answer is well-defined.
+	Oracle [][]geom.Item
 }
 
 // LoadResult is one run's aggregate outcome. Latency quantiles are exact:
@@ -39,6 +51,8 @@ type LoadResult struct {
 	Requests int           // requests attempted
 	Errors   int           // transport failures + server error responses
 	Results  uint64        // total items returned across ok responses
+	Degraded int           // ok responses missing at least one shard
+	Wrong    int           // responses that failed oracle verification
 	Elapsed  time.Duration // wall time of the whole run
 	QPS      float64       // Requests / Elapsed
 	Mean     time.Duration
@@ -46,6 +60,13 @@ type LoadResult struct {
 	P95      time.Duration
 	P99      time.Duration
 	Max      time.Duration
+
+	// Resilience counters, populated when LoadOptions.Robust is set.
+	Retries       uint64
+	Hedges        uint64
+	HedgeWins     uint64
+	BreakerOpens  uint64
+	BreakerDenied uint64
 }
 
 // RunLoad drives opt.Requests queries through opt.Clients concurrent
@@ -62,11 +83,25 @@ func RunLoad(opt LoadOptions) (LoadResult, error) {
 	if len(opt.Rects) == 0 {
 		return LoadResult{}, fmt.Errorf("serve: load generation needs a workload (Rects)")
 	}
+	if opt.Oracle != nil && len(opt.Oracle) != len(opt.Rects) {
+		return LoadResult{}, fmt.Errorf("serve: oracle has %d entries for %d rects", len(opt.Oracle), len(opt.Rects))
+	}
+	verify := opt.Oracle != nil && opt.NearestK == 0 && opt.Limit == 0
+
+	var robust *RobustClient
+	if opt.Robust != nil {
+		ro := *opt.Robust
+		ro.Addr = opt.Addr
+		robust = DialRobust(ro)
+		defer robust.Close()
+	}
 
 	type clientOut struct {
-		lats    []time.Duration
-		errs    int
-		results uint64
+		lats     []time.Duration
+		errs     int
+		results  uint64
+		degraded int
+		wrong    int
 	}
 	outs := make([]clientOut, opt.Clients)
 	var wg sync.WaitGroup
@@ -84,14 +119,19 @@ func RunLoad(opt LoadOptions) (LoadResult, error) {
 			defer wg.Done()
 			out := &outs[ci]
 			out.lats = make([]time.Duration, 0, n)
-			cl, err := Dial(opt.Addr)
-			if err != nil {
-				out.errs = n
-				return
+			var cl *Client
+			if robust == nil {
+				var err error
+				cl, err = Dial(opt.Addr)
+				if err != nil {
+					out.errs = n
+					return
+				}
+				defer func() { cl.Close() }()
 			}
-			defer cl.Close()
 			for i := 0; i < n; i++ {
-				r := opt.Rects[(offset+i)%len(opt.Rects)]
+				ri := (offset + i) % len(opt.Rects)
+				r := opt.Rects[ri]
 				req := Request{
 					Op: OpWindow, Rect: r,
 					Tenant: opt.Tenant, DeadlineMillis: opt.DeadlineMillis, Limit: opt.Limit,
@@ -104,12 +144,18 @@ func RunLoad(opt LoadOptions) (LoadResult, error) {
 					}
 				}
 				t0 := time.Now()
-				res, err := cl.Do(req)
+				var res Result
+				var err error
+				if robust != nil {
+					res, err = robust.Do(req)
+				} else {
+					res, err = cl.Do(req)
+				}
 				out.lats = append(out.lats, time.Since(t0))
 				if err != nil {
 					out.errs++
 					// A transport failure poisons the connection; redial.
-					if _, remote := err.(*RemoteError); !remote {
+					if _, remote := err.(*RemoteError); robust == nil && !remote {
 						cl.Close()
 						cl, err = Dial(opt.Addr)
 						if err != nil {
@@ -123,6 +169,14 @@ func RunLoad(opt LoadOptions) (LoadResult, error) {
 					out.results += uint64(len(set))
 				}
 				out.results += uint64(len(res.Neighbors))
+				if res.Degraded() {
+					out.degraded++
+				}
+				if verify && req.Op == OpWindow && len(res.Sets) == 1 {
+					if !verifyWindow(res, opt.Oracle[ri]) {
+						out.wrong++
+					}
+				}
 			}
 		}(ci, offset, n)
 	}
@@ -130,10 +184,19 @@ func RunLoad(opt LoadOptions) (LoadResult, error) {
 	elapsed := time.Since(start)
 
 	res := LoadResult{Clients: opt.Clients, Requests: opt.Requests, Elapsed: elapsed}
-	var all []time.Duration
 	for i := range outs {
 		res.Errors += outs[i].errs
 		res.Results += outs[i].results
+		res.Degraded += outs[i].degraded
+		res.Wrong += outs[i].wrong
+	}
+	if robust != nil {
+		c := robust.Counters()
+		res.Retries, res.Hedges, res.HedgeWins = c.Retries, c.Hedges, c.HedgeWins
+		res.BreakerOpens, res.BreakerDenied = c.BreakerOpens, c.BreakerDenied
+	}
+	var all []time.Duration
+	for i := range outs {
 		all = append(all, outs[i].lats...)
 	}
 	if elapsed > 0 {
@@ -152,6 +215,41 @@ func RunLoad(opt LoadOptions) (LoadResult, error) {
 		res.Max = all[len(all)-1]
 	}
 	return res, nil
+}
+
+// verifyWindow checks one unlimited window response against its oracle:
+// a complete response must match exactly (same items, same order — both
+// sides use the deterministic merge order), a degraded one must be a
+// strict subset that names at least one failed shard.
+func verifyWindow(res Result, want []geom.Item) bool {
+	got := res.Sets[0]
+	if !res.Degraded() {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if len(res.FailedShards) == 0 {
+		return false // degraded without naming the missing shards
+	}
+	// Subset check: every returned item must be in the oracle. Both sides
+	// are sorted by the deterministic order, so a linear merge suffices.
+	wi := 0
+	for _, it := range got {
+		for wi < len(want) && want[wi] != it {
+			wi++
+		}
+		if wi == len(want) {
+			return false
+		}
+		wi++
+	}
+	return true
 }
 
 // quantile returns the q-th quantile of sorted (nearest-rank method).

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// NetFaultMode selects what a FaultyListener's connections do when their
+// trigger fires. Network faults are the wire-level complement of
+// storage.Faulty: deterministic, countable, and aimed at the server's
+// connection handling rather than its disks.
+type NetFaultMode int
+
+const (
+	// NetFaultNone never fires; connections only count frames.
+	NetFaultNone NetFaultMode = iota
+	// NetFaultReset closes the connection abruptly on the triggering
+	// write — the client sees a mid-conversation reset.
+	NetFaultReset
+	// NetFaultTorn writes half of the triggering frame and closes: the
+	// peer reads a length prefix whose payload never fully arrives
+	// (ErrTornFrame on a well-behaved decoder).
+	NetFaultTorn
+	// NetFaultStall stops writing for the configured stall duration
+	// before every write from the trigger on — a peer that hangs
+	// mid-response. A server-side write deadline should cut it loose.
+	NetFaultStall
+	// NetFaultDrip writes one byte at a time with a delay between bytes
+	// from the trigger on — the classic slow loris. A server-side read
+	// deadline starves it out.
+	NetFaultDrip
+)
+
+func (m NetFaultMode) String() string {
+	switch m {
+	case NetFaultNone:
+		return "none"
+	case NetFaultReset:
+		return "reset"
+	case NetFaultTorn:
+		return "torn"
+	case NetFaultStall:
+		return "stall"
+	case NetFaultDrip:
+		return "drip"
+	default:
+		return fmt.Sprintf("NetFaultMode(%d)", int(m))
+	}
+}
+
+// ParseNetFaultMode parses the -netfault flag values.
+func ParseNetFaultMode(s string) (NetFaultMode, error) {
+	switch s {
+	case "", "none":
+		return NetFaultNone, nil
+	case "reset":
+		return NetFaultReset, nil
+	case "torn":
+		return NetFaultTorn, nil
+	case "stall":
+		return NetFaultStall, nil
+	case "drip":
+		return NetFaultDrip, nil
+	}
+	return NetFaultNone, fmt.Errorf("serve: unknown net fault mode %q (want none, reset, torn, stall or drip)", s)
+}
+
+// NetFault configures a FaultyListener.
+type NetFault struct {
+	// Mode is what happens when the trigger fires.
+	Mode NetFaultMode
+	// After is the number of counted writes (≈ frames: each response is
+	// one buffered flush) across all connections between firings.
+	// NetFaultReset and NetFaultTorn fire periodically — on the
+	// After+1-th write and every After+1 writes after that — so a chaos
+	// run suffers a bounded, nonzero failure rate instead of one blip or
+	// total loss. NetFaultStall and NetFaultDrip latch: from the
+	// After+1-th write on, the affected connection misbehaves on every
+	// write. <= 0 fires from the very first write.
+	After int64
+	// Stall is the pause NetFaultStall/NetFaultDrip insert (default
+	// 30s for stall — longer than any sane write deadline — and 5ms
+	// per byte for drip).
+	Stall time.Duration
+}
+
+// FaultyListener wraps a net.Listener so every accepted connection
+// injects the configured fault on the client-facing side. It exists for
+// chaos tests and prtreeserve -netfault: the server under test is on the
+// OTHER end of these connections, so wrapping the client's listener (or
+// dialing through NewFaultyConn) torments the server's reads, while
+// wrapping the server's listener torments its writes and the client's
+// reads.
+type FaultyListener struct {
+	net.Listener
+	fault  NetFault
+	writes atomic.Int64
+	fired  atomic.Bool
+}
+
+// NewFaultyListener wraps lis. All accepted connections share one write
+// counter, so "the 100th response frame this server sends" is a single
+// deterministic trigger regardless of connection count.
+func NewFaultyListener(lis net.Listener, fault NetFault) *FaultyListener {
+	if fault.Stall <= 0 {
+		if fault.Mode == NetFaultDrip {
+			fault.Stall = 5 * time.Millisecond
+		} else {
+			fault.Stall = 30 * time.Second
+		}
+	}
+	return &FaultyListener{Listener: lis, fault: fault}
+}
+
+// Fired reports whether the fault has fired at least once.
+func (l *FaultyListener) Fired() bool { return l.fired.Load() }
+
+// Accept implements net.Listener.
+func (l *FaultyListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &faultyConn{Conn: conn, lis: l}, nil
+}
+
+// faultyConn injects the listener's fault into Write. Reads pass through:
+// the interesting failures for a server are on its response path, and
+// drip/stall model the peer consuming (or producing) slowly, which
+// manifests to this side as blocked writes.
+type faultyConn struct {
+	net.Conn
+	lis    *FaultyListener
+	sticky atomic.Bool // stall/drip latched for this conn
+}
+
+func (c *faultyConn) Write(p []byte) (int, error) {
+	l := c.lis
+	mode := l.fault.Mode
+	if mode == NetFaultNone {
+		return c.Conn.Write(p)
+	}
+	n := l.writes.Add(1)
+	period := l.fault.After + 1
+	if period < 1 {
+		period = 1
+	}
+	var fire bool
+	switch mode {
+	case NetFaultReset, NetFaultTorn:
+		fire = n%period == 0
+	default: // stall, drip: latch per connection once past the trigger
+		fire = c.sticky.Load() || n >= period
+	}
+	if fire {
+		l.fired.Store(true)
+	} else {
+		return c.Conn.Write(p)
+	}
+	switch mode {
+	case NetFaultReset:
+		c.Conn.Close()
+		return 0, fmt.Errorf("serve: injected connection reset")
+	case NetFaultTorn:
+		half := p[:len(p)/2]
+		written, _ := c.Conn.Write(half)
+		c.Conn.Close()
+		return written, fmt.Errorf("serve: injected torn frame")
+	case NetFaultStall:
+		c.sticky.Store(true)
+		time.Sleep(l.fault.Stall)
+		return c.Conn.Write(p)
+	case NetFaultDrip:
+		c.sticky.Store(true)
+		for i := range p {
+			if _, err := c.Conn.Write(p[i : i+1]); err != nil {
+				return i, err
+			}
+			time.Sleep(l.fault.Stall)
+		}
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+// NewFaultyConn wraps a single established connection (e.g. a client-side
+// dial in a test) with its own one-connection fault domain.
+func NewFaultyConn(conn net.Conn, fault NetFault) net.Conn {
+	lis := NewFaultyListener(nil, fault)
+	return &faultyConn{Conn: conn, lis: lis}
+}

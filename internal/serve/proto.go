@@ -25,12 +25,16 @@
 //	  stats             none
 //
 // A response payload is a status byte (0 = ok, 1 = error) and the echoed
-// op byte, then either an error record (uint16 code, uint16 message
-// length, message bytes) or the op's result: for window, contained, point
-// and batch a uint32 set count and per set a uint32 item count followed by
-// items (uint32 id + 4 × float64 rect); for nearest one set of neighbors
-// (uint32 id + 4 × float64 rect + float64 squared distance); for stats a
-// uint32 shard count, uint64 item count and the 4 × float64 global MBR.
+// op byte. An error response carries an error record (uint16 code, uint16
+// message length, message bytes). An ok response carries a degraded-shards
+// section — one byte holding the count of shards that contributed nothing
+// to this result, followed by that many uint32 shard indices (zero for a
+// complete result) — and then the op's result: for window, contained,
+// point and batch a uint32 set count and per set a uint32 item count
+// followed by items (uint32 id + 4 × float64 rect); for nearest one set of
+// neighbors (uint32 id + 4 × float64 rect + float64 squared distance); for
+// stats a uint32 shard count, uint64 item count and the 4 × float64 global
+// MBR.
 //
 // Decoding is defensive end to end: torn frames, oversized length
 // prefixes and truncated payloads return the typed errors ErrTornFrame,
@@ -101,7 +105,16 @@ const (
 	CodeShuttingDown uint16 = 4
 	// CodeInternal reports any other server-side failure.
 	CodeInternal uint16 = 5
+	// CodeUnavailable reports a query that could not run because every
+	// shard is out of rotation (quarantined or permanently failed); the
+	// client may retry after backoff while auto-recovery works.
+	CodeUnavailable uint16 = 6
 )
+
+// MaxFailedShards caps the degraded-shards list of one ok response (it
+// fits the one-byte count prefix). Responses degraded by more shards than
+// this report only the first MaxFailedShards indices.
+const MaxFailedShards = 255
 
 // Request is one decoded query request.
 type Request struct {
@@ -122,7 +135,16 @@ type Result struct {
 	Sets      [][]geom.Item // window/contained/point: one set; batch: per query
 	Neighbors []Neighbor    // nearest
 	Stats     *WireStats    // stats
+	// FailedShards lists the shards that contributed nothing to this
+	// result (quarantined, permanently failed, or failed mid-query).
+	// Empty means the result is complete.
+	FailedShards []uint32
 }
+
+// Degraded reports whether the result is missing at least one shard's
+// contribution. Degraded results are correct but partial: every item in
+// them is real, items homed on the failed shards are absent.
+func (r Result) Degraded() bool { return len(r.FailedShards) > 0 }
 
 // Neighbor mirrors the tree's k-NN result: an item plus squared distance.
 type Neighbor struct {
@@ -338,10 +360,19 @@ func DecodeRequest(payload []byte) (Request, error) {
 
 // --- response encoding ----------------------------------------------------
 
-// AppendOKResponse appends an ok-response for op to buf: item sets for
+// AppendOKResponse appends an ok-response for op to buf: the degraded
+// shard list (failed may be nil for a complete result, and is truncated
+// to MaxFailedShards entries), then item sets for
 // window/contained/point/batch, neighbors for nearest, stats for stats.
-func AppendOKResponse(buf []byte, op byte, sets [][]geom.Item, nbs []Neighbor, st *WireStats) []byte {
+func AppendOKResponse(buf []byte, op byte, failed []uint32, sets [][]geom.Item, nbs []Neighbor, st *WireStats) []byte {
 	buf = append(buf, statusOK, op)
+	if len(failed) > MaxFailedShards {
+		failed = failed[:MaxFailedShards]
+	}
+	buf = append(buf, byte(len(failed)))
+	for _, idx := range failed {
+		buf = appendU32(buf, idx)
+	}
 	switch op {
 	case OpNearest:
 		buf = appendU32(buf, uint32(len(nbs)))
@@ -403,6 +434,16 @@ func DecodeResponse(payload []byte) (Result, error) {
 		return Result{}, fmt.Errorf("%w: unknown status %d", ErrBadFrame, status)
 	}
 	out := Result{Op: op}
+	nFailed := int(r.u8())
+	if !r.ok || len(r.b) < nFailed*4 {
+		return Result{}, fmt.Errorf("%w: degraded-shard count disagrees with payload length", ErrBadFrame)
+	}
+	if nFailed > 0 {
+		out.FailedShards = make([]uint32, nFailed)
+		for i := range out.FailedShards {
+			out.FailedShards[i] = r.u32()
+		}
+	}
 	switch op {
 	case OpNearest:
 		n := int(r.u32())

@@ -60,10 +60,11 @@ func TestResponseRoundTrip(t *testing.T) {
 	st := &WireStats{Shards: 4, Items: 1234, MBR: rect(-10, -10, 10, 10)}
 
 	cases := []struct {
-		op   byte
-		sets [][]geom.Item
-		nbs  []Neighbor
-		st   *WireStats
+		op     byte
+		failed []uint32
+		sets   [][]geom.Item
+		nbs    []Neighbor
+		st     *WireStats
 	}{
 		{op: OpWindow, sets: [][]geom.Item{items}},
 		{op: OpPoint, sets: [][]geom.Item{{}}},
@@ -71,9 +72,13 @@ func TestResponseRoundTrip(t *testing.T) {
 		{op: OpNearest, nbs: nbs},
 		{op: OpNearest, nbs: nil},
 		{op: OpStats, st: st},
+		// Degraded responses carry the failed-shard indices.
+		{op: OpWindow, failed: []uint32{2}, sets: [][]geom.Item{items[:1]}},
+		{op: OpNearest, failed: []uint32{0, 3, 7}, nbs: nbs},
+		{op: OpBatch, failed: []uint32{1}, sets: [][]geom.Item{{}, {}}},
 	}
 	for _, c := range cases {
-		buf := AppendOKResponse(nil, c.op, c.sets, c.nbs, c.st)
+		buf := AppendOKResponse(nil, c.op, c.failed, c.sets, c.nbs, c.st)
 		got, err := DecodeResponse(buf)
 		if err != nil {
 			t.Fatalf("op %d: decode: %v", c.op, err)
@@ -81,9 +86,15 @@ func TestResponseRoundTrip(t *testing.T) {
 		if got.Op != c.op {
 			t.Errorf("op %d: echoed op %d", c.op, got.Op)
 		}
+		if !reflect.DeepEqual(got.FailedShards, c.failed) {
+			t.Errorf("op %d: failed shards %v, want %v", c.op, got.FailedShards, c.failed)
+		}
+		if got.Degraded() != (len(c.failed) > 0) {
+			t.Errorf("op %d: Degraded() = %v with %d failed shards", c.op, got.Degraded(), len(c.failed))
+		}
 		// Re-encoding the decoded result must reproduce the payload
 		// byte-for-byte: the wire form is canonical.
-		again := AppendOKResponse(nil, got.Op, got.Sets, got.Neighbors, got.Stats)
+		again := AppendOKResponse(nil, got.Op, got.FailedShards, got.Sets, got.Neighbors, got.Stats)
 		if !bytes.Equal(again, buf) {
 			t.Errorf("op %d: re-encode mismatch", c.op)
 		}
@@ -136,7 +147,8 @@ func TestDecodeRequestErrors(t *testing.T) {
 }
 
 func TestDecodeResponseErrors(t *testing.T) {
-	ok := AppendOKResponse(nil, OpWindow, [][]geom.Item{{{ID: 1, Rect: rect(0, 0, 1, 1)}}}, nil, nil)
+	ok := AppendOKResponse(nil, OpWindow, nil, [][]geom.Item{{{ID: 1, Rect: rect(0, 0, 1, 1)}}}, nil, nil)
+	degraded := AppendOKResponse(nil, OpWindow, []uint32{1, 2}, [][]geom.Item{{}}, nil, nil)
 	errResp := AppendErrResponse(nil, OpWindow, CodeInternal, "boom")
 	cases := []struct {
 		name    string
@@ -145,9 +157,13 @@ func TestDecodeResponseErrors(t *testing.T) {
 		{"empty", nil},
 		{"status only", []byte{statusOK}},
 		{"unknown status", []byte{9, OpWindow}},
-		{"unknown op", []byte{statusOK, 42, 0, 0, 0, 0}},
+		{"unknown op", []byte{statusOK, 42, 0, 0, 0, 0, 0}},
 		{"truncated items", ok[:len(ok)-1]},
 		{"trailing bytes", append(append([]byte(nil), ok...), 0)},
+		// A forged degraded-shard count larger than the remaining payload
+		// must be rejected, not read past the end.
+		{"forged failed count", []byte{statusOK, OpWindow, 0xff, 0, 0, 0, 1}},
+		{"truncated failed list", degraded[:4]},
 		{"error trailing bytes", append(append([]byte(nil), errResp...), 0)},
 		{"truncated error msg", errResp[:len(errResp)-2]},
 	}
@@ -203,8 +219,13 @@ func FuzzFrameDecode(f *testing.F) {
 	seedReq(Request{Op: OpNearest, X: 1, Y: 2, K: 3})
 	seedReq(Request{Op: OpBatch, Rects: []geom.Rect{rect(0, 0, 1, 1)}})
 	seedReq(Request{Op: OpStats})
-	f.Add(AppendOKResponse(nil, OpNearest, nil, []Neighbor{{Dist2: 1}}, nil))
+	f.Add(AppendOKResponse(nil, OpNearest, nil, nil, []Neighbor{{Dist2: 1}}, nil))
 	f.Add(AppendErrResponse(nil, OpWindow, CodeDeadline, "late"))
+	// Degraded responses: failed-shard lists of every shape.
+	f.Add(AppendOKResponse(nil, OpWindow, []uint32{0}, [][]geom.Item{{}}, nil, nil))
+	f.Add(AppendOKResponse(nil, OpBatch, []uint32{1, 2, 250}, [][]geom.Item{{}, {}}, nil, nil))
+	f.Add(AppendOKResponse(nil, OpNearest, []uint32{3}, nil, []Neighbor{{Dist2: 4}}, nil))
+	f.Add([]byte{statusOK, OpWindow, 0xff, 0, 0, 0, 1}) // forged failed count
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
 	f.Add([]byte{0, 0, 0, 5, 1, 2}) // torn: claims 5 bytes, carries 2
 
@@ -236,7 +257,7 @@ func FuzzFrameDecode(f *testing.F) {
 		res, err := DecodeResponse(data)
 		switch e := err.(type) {
 		case nil:
-			again := AppendOKResponse(nil, res.Op, res.Sets, res.Neighbors, res.Stats)
+			again := AppendOKResponse(nil, res.Op, res.FailedShards, res.Sets, res.Neighbors, res.Stats)
 			if !bytes.Equal(again, data) {
 				t.Fatalf("response re-encode mismatch:\n in %x\nout %x", data, again)
 			}

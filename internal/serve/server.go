@@ -37,6 +37,10 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxDeadline clamps client-supplied deadlines; 0 means no clamp.
 	MaxDeadline time.Duration
+	// ConnTimeout bounds how long one binary connection may sit between
+	// frames, and how long one response write may take — the slow-loris
+	// guard. 0 means no per-connection deadlines.
+	ConnTimeout time.Duration
 }
 
 // Server serves a Set over the binary protocol (ServeBinary) and HTTP
@@ -61,6 +65,8 @@ type Server struct {
 	start     time.Time
 	served    atomic.Uint64
 	errCount  atomic.Uint64
+	degraded  atomic.Uint64 // responses missing at least one shard
+	malformed atomic.Uint64 // frames that failed to parse
 	metricsMu sync.RWMutex
 	metrics   map[string]*endpointMetrics
 
@@ -93,6 +99,15 @@ func (s *Server) Errors() uint64 { return s.errCount.Load() }
 
 // Served returns the cumulative count of admitted requests.
 func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Degraded returns the cumulative count of responses missing at least one
+// shard.
+func (s *Server) Degraded() uint64 { return s.degraded.Load() }
+
+// SetTenantCap changes the per-tenant in-flight cap at runtime: < 0
+// disables admission, 0 rejects everything, > 0 caps. Requests already in
+// flight are unaffected and release correctly under the new cap.
+func (s *Server) SetTenantCap(cap int) { s.adm.setCap(cap) }
 
 // opName maps protocol ops onto /statsz endpoint names.
 func opName(op byte) string {
@@ -161,11 +176,12 @@ func (s *Server) requestCtx(deadlineMillis uint32) (context.Context, context.Can
 
 // dispatchResult is the transport-independent outcome of one request.
 type dispatchResult struct {
-	sets  [][]geom.Item
-	nbs   []Neighbor
-	stats *WireStats
-	code  uint16 // 0 = ok
-	msg   string
+	sets   [][]geom.Item
+	nbs    []Neighbor
+	stats  *WireStats
+	failed []uint32 // shards missing from a degraded result
+	code   uint16   // 0 = ok
+	msg    string
 }
 
 // errResult builds an error outcome.
@@ -207,9 +223,14 @@ func (s *Server) dispatch(req Request) dispatchResult {
 			return errResult(CodeDeadline, "canceled")
 		case errors.Is(err, ErrBadFrame), errors.Is(err, errBadRequest):
 			return errResult(CodeBadRequest, err.Error())
+		case errors.Is(err, ErrUnavailable):
+			return errResult(CodeUnavailable, err.Error())
 		default:
 			return errResult(CodeInternal, err.Error())
 		}
+	}
+	if len(out.failed) > 0 {
+		s.degraded.Add(1)
 	}
 	return out
 }
@@ -217,29 +238,31 @@ func (s *Server) dispatch(req Request) dispatchResult {
 // errBadRequest marks semantic request errors (valid frame, bad values).
 var errBadRequest = errors.New("serve: bad request")
 
-// runQuery executes the op against the set.
+// runQuery executes the op against the set. A degraded scatter-gather
+// (some shards quarantined mid-query) is a success whose failed slice
+// names the missing shards, not an error.
 func (s *Server) runQuery(ctx context.Context, req Request) (dispatchResult, error) {
 	set := s.cfg.Set
 	limit := int(req.Limit)
 	switch req.Op {
 	case OpWindow:
-		items, err := set.Window(ctx, req.Rect, limit)
-		return dispatchResult{sets: [][]geom.Item{items}}, err
+		items, p, err := set.Window(ctx, req.Rect, limit)
+		return dispatchResult{sets: [][]geom.Item{items}, failed: p.Failed}, err
 	case OpContained:
-		items, err := set.Contained(ctx, req.Rect, limit)
-		return dispatchResult{sets: [][]geom.Item{items}}, err
+		items, p, err := set.Contained(ctx, req.Rect, limit)
+		return dispatchResult{sets: [][]geom.Item{items}, failed: p.Failed}, err
 	case OpPoint:
-		items, err := set.Point(ctx, req.X, req.Y, limit)
-		return dispatchResult{sets: [][]geom.Item{items}}, err
+		items, p, err := set.Point(ctx, req.X, req.Y, limit)
+		return dispatchResult{sets: [][]geom.Item{items}, failed: p.Failed}, err
 	case OpNearest:
 		if req.K > MaxK {
 			return dispatchResult{}, fmt.Errorf("%w: k=%d exceeds %d", errBadRequest, req.K, MaxK)
 		}
-		nbs, err := set.Nearest(ctx, req.X, req.Y, int(req.K))
-		return dispatchResult{nbs: nbs}, err
+		nbs, p, err := set.Nearest(ctx, req.X, req.Y, int(req.K))
+		return dispatchResult{nbs: nbs, failed: p.Failed}, err
 	case OpBatch:
-		sets, err := set.Batch(ctx, req.Rects, limit)
-		return dispatchResult{sets: sets}, err
+		sets, p, err := set.Batch(ctx, req.Rects, limit)
+		return dispatchResult{sets: sets, failed: p.Failed}, err
 	case OpStats:
 		return dispatchResult{stats: &WireStats{
 			Shards: uint32(set.Shards()),
@@ -297,7 +320,10 @@ func (s *Server) ServeBinary(lis net.Listener) error {
 }
 
 // handleConn serves one binary connection: one request frame in, one
-// response frame out, strictly in order.
+// response frame out, strictly in order. With Config.ConnTimeout set,
+// every frame read and every response write runs under a conn deadline,
+// so a peer that stalls mid-frame or drips bytes (slow loris) is cut off
+// instead of pinning a goroutine and a socket forever.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -309,14 +335,26 @@ func (s *Server) handleConn(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	var buf []byte
 	for {
+		if s.cfg.ConnTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ConnTimeout))
+		}
 		payload, err := ReadFrame(br, MaxRequestFrame)
 		if err != nil {
 			// EOF and torn frames mean the peer is gone; an oversized
 			// frame gets one error response before the connection drops
 			// (the stream position is unrecoverable either way).
+			if errors.Is(err, ErrTornFrame) {
+				s.malformed.Add(1)
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, ErrTornFrame) {
+				if !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
+					s.malformed.Add(1)
+				}
 				s.errCount.Add(1)
 				buf = AppendErrResponse(buf[:0], 0, CodeBadRequest, err.Error())
+				if s.cfg.ConnTimeout > 0 {
+					conn.SetWriteDeadline(time.Now().Add(s.cfg.ConnTimeout))
+				}
 				if WriteFrame(bw, buf) == nil {
 					bw.Flush()
 				}
@@ -325,8 +363,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		req, err := DecodeRequest(payload)
 		if err != nil {
+			s.malformed.Add(1)
 			s.errCount.Add(1)
 			buf = AppendErrResponse(buf[:0], 0, CodeBadRequest, err.Error())
+			if s.cfg.ConnTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.ConnTimeout))
+			}
 			if WriteFrame(bw, buf) == nil {
 				bw.Flush()
 			}
@@ -336,7 +378,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		if out.code != 0 {
 			buf = AppendErrResponse(buf[:0], req.Op, out.code, out.msg)
 		} else {
-			buf = AppendOKResponse(buf[:0], req.Op, out.sets, out.nbs, out.stats)
+			buf = AppendOKResponse(buf[:0], req.Op, out.failed, out.sets, out.nbs, out.stats)
+		}
+		if s.cfg.ConnTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.ConnTimeout))
 		}
 		if err := WriteFrame(bw, buf); err != nil {
 			return
@@ -345,6 +390,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a net timeout (an expired conn
+// deadline), which is the peer being slow, not a malformed frame.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // --- HTTP transport -------------------------------------------------------
@@ -393,7 +445,7 @@ func httpStatus(code uint16) int {
 		return http.StatusTooManyRequests
 	case CodeDeadline:
 		return http.StatusGatewayTimeout
-	case CodeShuttingDown:
+	case CodeShuttingDown, CodeUnavailable:
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
@@ -410,7 +462,19 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
-		fmt.Fprintln(w, "ok")
+		health := HealthOK
+		if set := s.cfg.Set; set != nil {
+			health = set.Health()
+		}
+		switch health {
+		case HealthDown:
+			// Down is a 503 so load balancers pull the instance; degraded
+			// stays 200 — partial answers beat none, and /statsz names the
+			// quarantined shards.
+			http.Error(w, health.String(), http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, health)
+		}
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -470,6 +534,10 @@ func (s *Server) serveJSON(w http.ResponseWriter, req Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	resp := map[string]interface{}{"op": opName(req.Op)}
+	resp["degraded"] = len(out.failed) > 0
+	if len(out.failed) > 0 {
+		resp["failed_shards"] = out.failed
+	}
 	switch req.Op {
 	case OpNearest:
 		nbs := make([]httpItem, len(out.nbs))
@@ -590,17 +658,34 @@ type EndpointStats struct {
 	P99MS  float64 `json:"p99_ms"`
 }
 
+// ShardStatsz is one shard's /statsz record.
+type ShardStatsz struct {
+	File        string `json:"file"`
+	State       string `json:"state"`
+	Errors      uint64 `json:"errors"`
+	Quarantines uint64 `json:"quarantines"`
+	Recoveries  uint64 `json:"recoveries"`
+	Attempts    uint64 `json:"recovery_attempts"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
 // Statsz is the /statsz document: server, shard, IO/cache and per-endpoint
 // latency counters.
 type Statsz struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
+	Health        string  `json:"health"`
 	Shards        int     `json:"shards"`
+	Healthy       int     `json:"healthy_shards"`
 	Items         int     `json:"items"`
 
-	Served   uint64 `json:"served"`
-	Errors   uint64 `json:"errors"`
-	Rejected uint64 `json:"rejected"`
+	Served          uint64 `json:"served"`
+	Errors          uint64 `json:"errors"`
+	Rejected        uint64 `json:"rejected"`
+	Degraded        uint64 `json:"degraded"`
+	MalformedFrames uint64 `json:"malformed_frames"`
+
+	ShardDetail []ShardStatsz `json:"shard_detail,omitempty"`
 
 	IO struct {
 		Reads         uint64 `json:"reads"`
@@ -631,17 +716,32 @@ func (s *Server) Statsz() Statsz {
 	draining := s.draining
 	s.mu.Unlock()
 	st := Statsz{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Draining:      draining,
-		Served:        s.served.Load(),
-		Errors:        s.errCount.Load(),
-		Rejected:      s.adm.rejectedCount(),
-		Endpoints:     make(map[string]EndpointStats),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Draining:        draining,
+		Health:          HealthOK.String(),
+		Served:          s.served.Load(),
+		Errors:          s.errCount.Load(),
+		Rejected:        s.adm.rejectedCount(),
+		Degraded:        s.degraded.Load(),
+		MalformedFrames: s.malformed.Load(),
+		Endpoints:       make(map[string]EndpointStats),
 	}
-	st.Admission.TenantCap = s.cfg.TenantCap
+	st.Admission.TenantCap = s.adm.capNow()
 	if set := s.cfg.Set; set != nil {
 		ss := set.Stats()
-		st.Shards, st.Items = ss.Shards, ss.Items
+		st.Health = set.Health().String()
+		st.Shards, st.Healthy, st.Items = ss.Shards, ss.Healthy, ss.Items
+		for _, sd := range ss.Status {
+			st.ShardDetail = append(st.ShardDetail, ShardStatsz{
+				File:        sd.File,
+				State:       sd.State.String(),
+				Errors:      sd.Errors,
+				Quarantines: sd.Quarantines,
+				Recoveries:  sd.Recoveries,
+				Attempts:    sd.Attempts,
+				LastError:   sd.LastErr,
+			})
+		}
 		st.IO.Reads, st.IO.Writes, st.IO.PrefetchReads = ss.IO.Reads, ss.IO.Writes, ss.IO.PrefetchReads
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions = ss.Cache.Hits, ss.Cache.Misses, ss.Cache.Evictions
 		st.Cache.HitRate = ss.Cache.HitRatio()

@@ -314,7 +314,7 @@ func TestBinaryE2E(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := set.Window(ctx, w, 0)
+		want, _, err := set.Window(ctx, w, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -325,7 +325,7 @@ func TestBinaryE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantN, err := set.Nearest(ctx, 0.5, 0.5, 10)
+	wantN, _, err := set.Nearest(ctx, 0.5, 0.5, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func TestBinaryE2E(t *testing.T) {
 		t.Fatalf("batch: %d sets, want %d", len(res.Sets), len(windows))
 	}
 	for i, w := range windows {
-		want, err := set.Window(ctx, w, 0)
+		want, _, err := set.Window(ctx, w, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -409,7 +409,7 @@ func TestHTTPE2E(t *testing.T) {
 	if code := getJSON(path, &q); code != http.StatusOK {
 		t.Fatalf("window: %d", code)
 	}
-	want, err := set.Window(ctx, w0, 0)
+	want, _, err := set.Window(ctx, w0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +431,7 @@ func TestHTTPE2E(t *testing.T) {
 	if code := getJSON("/query?op=nearest&x=0.5&y=0.5&k=5", &nn); code != http.StatusOK {
 		t.Fatalf("nearest: %d", code)
 	}
-	wantN, err := set.Nearest(ctx, 0.5, 0.5, 5)
+	wantN, _, err := set.Nearest(ctx, 0.5, 0.5, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

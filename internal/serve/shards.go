@@ -3,16 +3,21 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"prtree"
 	"prtree/internal/geom"
 	"prtree/internal/hilbert"
+	"prtree/internal/storage"
 )
 
 // ManifestName is the manifest file inside a sharded index directory.
@@ -283,22 +288,197 @@ type OpenOptions struct {
 	// Mmap serves shard reads through read-only memory mappings where the
 	// platform supports it.
 	Mmap bool
+
+	// MaxRecoveries caps reopen attempts per quarantine before the shard
+	// is declared permanently failed (default 5; negative retries
+	// forever).
+	MaxRecoveries int
+	// RecoveryBackoff is the supervisor's initial retry delay (default
+	// 100ms); each failed reopen doubles it, with jitter, up to
+	// RecoveryMaxBackoff (default 10s).
+	RecoveryBackoff    time.Duration
+	RecoveryMaxBackoff time.Duration
+
+	// FaultShard and FaultReadsAfter are the chaos knobs behind
+	// prtreeserve -faultshard/-faultreads: with FaultReadsAfter > 0, shard
+	// FaultShard is opened over a fault-injecting backend that panics
+	// (wrapping storage.ErrInjectedFault, exactly like a real checksum
+	// mismatch) on its FaultReadsAfter-th page read. The fault arms on the
+	// first open only — the recovery supervisor reopens the shard clean —
+	// so one injected failure exercises the whole quarantine → recover →
+	// restore cycle.
+	FaultShard      int
+	FaultReadsAfter int64
+
+	// wrapShard generalizes the chaos knobs for tests: when set, every
+	// (re)open of shard idx routes its backend through this hook. attempt
+	// is 0 for the initial Open and counts recovery reopens from 1.
+	wrapShard func(idx, attempt int, b prtree.Backend) prtree.Backend
+}
+
+// normalized fills in recovery defaults.
+func (o OpenOptions) normalized() OpenOptions {
+	if o.MaxRecoveries == 0 {
+		o.MaxRecoveries = 5
+	}
+	if o.RecoveryBackoff <= 0 {
+		o.RecoveryBackoff = 100 * time.Millisecond
+	}
+	if o.RecoveryMaxBackoff <= 0 {
+		o.RecoveryMaxBackoff = 10 * time.Second
+	}
+	if o.FaultReadsAfter > 0 && o.wrapShard == nil {
+		target, after := o.FaultShard, o.FaultReadsAfter
+		o.wrapShard = func(idx, attempt int, b prtree.Backend) prtree.Backend {
+			if idx != target || attempt > 0 {
+				return b
+			}
+			f := storage.NewFaulty(b, storage.FaultError, after)
+			f.InjectReads(true)
+			return f
+		}
+	}
+	return o
+}
+
+// ShardState is one shard's position in the rotation.
+type ShardState int32
+
+const (
+	// ShardHealthy shards serve queries.
+	ShardHealthy ShardState = iota
+	// ShardQuarantined shards are out of rotation after a backend error
+	// or checksum failure; a supervisor goroutine is trying to bring them
+	// back (close → reopen → WAL replay → scrub).
+	ShardQuarantined
+	// ShardFailed shards exhausted MaxRecoveries reopen attempts and stay
+	// out of rotation until the set is reopened.
+	ShardFailed
+)
+
+func (s ShardState) String() string {
+	switch s {
+	case ShardHealthy:
+		return "healthy"
+	case ShardQuarantined:
+		return "quarantined"
+	case ShardFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ShardState(%d)", int32(s))
+	}
+}
+
+// Health is the set's aggregate serving state, the /healthz answer.
+type Health int
+
+const (
+	// HealthOK means every shard is in rotation.
+	HealthOK Health = iota
+	// HealthDegraded means queries still run but at least one shard is
+	// out of rotation: results may be partial (and say so).
+	HealthDegraded
+	// HealthDown means no shard is in rotation; queries fail with
+	// ErrUnavailable.
+	HealthDown
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDown:
+		return "down"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// ErrUnavailable reports a scatter-gather query with no healthy shard
+// left to run on. The binary protocol maps it to CodeUnavailable and HTTP
+// to 503 Service Unavailable.
+var ErrUnavailable = errors.New("serve: no healthy shards")
+
+// errShardDown marks a leg skipped because its shard is out of rotation.
+var errShardDown = errors.New("serve: shard is out of rotation")
+
+// shard is one tree plus its failure-isolation state. The tree pointer is
+// guarded by mu (read-held for the duration of every query leg, so the
+// supervisor can never swap a tree out from under a running traversal);
+// the state word and counters are atomics so health checks and stats
+// never contend with queries.
+type shard struct {
+	idx  int
+	file string
+
+	mu   sync.RWMutex
+	tree *prtree.Tree // nil while out of rotation
+
+	state       atomic.Int32 // ShardState
+	errs        atomic.Uint64
+	quarantines atomic.Uint64
+	recoveries  atomic.Uint64
+	attempts    atomic.Uint64
+
+	lastErrMu sync.Mutex
+	lastErr   string
+}
+
+func (sh *shard) setLastErr(err error) {
+	sh.lastErrMu.Lock()
+	sh.lastErr = err.Error()
+	sh.lastErrMu.Unlock()
+}
+
+func (sh *shard) lastErrString() string {
+	sh.lastErrMu.Lock()
+	defer sh.lastErrMu.Unlock()
+	return sh.lastErr
 }
 
 // Set is an open sharded index: N file-backed trees queried scatter-gather
 // with results merged into a deterministic order. All read methods are
 // safe for any number of concurrent callers.
+//
+// The set survives shard failures: a leg that hits a backend error or
+// checksum panic quarantines its shard instead of failing the query, the
+// response reports which shards are missing (Partial), and a background
+// supervisor works to bring the shard back — see OpenOptions'
+// MaxRecoveries/RecoveryBackoff knobs and the Health method.
 type Set struct {
 	dir      string
 	manifest Manifest
-	trees    []*prtree.Tree
+	shards   []*shard
 	items    int
 	mbr      geom.Rect
+	opt      OpenOptions
+	perCache int // per-shard cache budget derived from CachePages
+
+	done      chan struct{}
+	superWG   sync.WaitGroup
+	lifecycle sync.Mutex // guards closed + supervisor spawning vs Close
+	closed    bool
+}
+
+// shardOptions builds the prtree.Options one shard (re)opens with.
+func (s *Set) shardOptions(idx, attempt int) *prtree.Options {
+	o := &prtree.Options{
+		CacheCapacity: s.perCache,
+		Eviction:      s.opt.Policy,
+		Prefetch:      s.opt.Prefetch,
+		Mmap:          s.opt.Mmap,
+	}
+	if hook := s.opt.wrapShard; hook != nil {
+		o.WrapBackend = func(b prtree.Backend) prtree.Backend { return hook(idx, attempt, b) }
+	}
+	return o
 }
 
 // Open opens the sharded index directory dir. The manifest names the
 // shard files; opt controls caching (one budget across all shards),
-// eviction policy, prefetch and mmap.
+// eviction policy, prefetch, mmap, and the failure-isolation knobs.
 func Open(dir string, opt OpenOptions) (*Set, error) {
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -321,44 +501,112 @@ func Open(dir string, opt OpenOptions) (*Set, error) {
 			perShard = 1
 		}
 	}
-	s := &Set{dir: dir, manifest: man, mbr: geom.EmptyRect()}
-	for _, si := range man.Shards {
-		tree, err := prtree.Open(filepath.Join(dir, si.File), &prtree.Options{
-			CacheCapacity: perShard,
-			Eviction:      opt.Policy,
-			Prefetch:      opt.Prefetch,
-			Mmap:          opt.Mmap,
-		})
+	s := &Set{
+		dir: dir, manifest: man, mbr: geom.EmptyRect(),
+		opt: opt.normalized(), perCache: perShard,
+		done: make(chan struct{}),
+	}
+	for i, si := range man.Shards {
+		sh := &shard{idx: i, file: si.File}
+		tree, mbr, n, err := openShardTree(filepath.Join(dir, si.File), s.shardOptions(i, 0))
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("serve: opening shard %s: %w", si.File, err)
 		}
-		s.trees = append(s.trees, tree)
-		s.items += tree.Len()
-		if tree.Len() > 0 {
-			s.mbr = s.mbr.Union(tree.MBR())
+		sh.tree = tree
+		s.shards = append(s.shards, sh)
+		s.items += n
+		if n > 0 {
+			s.mbr = s.mbr.Union(mbr)
 		}
 	}
 	return s, nil
 }
 
-// Close closes every shard, reporting the first error.
+// openShardTree opens one shard file and touches its item count and MBR
+// (the root page) under a recover, so a shard corrupt enough to panic on
+// its very first read fails Open with an error instead of killing the
+// process.
+func openShardTree(path string, o *prtree.Options) (t *prtree.Tree, mbr geom.Rect, n int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if t != nil {
+				closeTree(t)
+				t = nil
+			}
+			err = panicToError(-1, p)
+		}
+	}()
+	t, err = prtree.Open(path, o)
+	if err != nil {
+		return nil, geom.EmptyRect(), 0, err
+	}
+	n = t.Len()
+	if n > 0 {
+		mbr = t.MBR()
+	}
+	return t, mbr, n, nil
+}
+
+// Close stops the recovery supervisors, waits them out, and closes every
+// shard, reporting the first error. Idempotent.
 func (s *Set) Close() error {
+	s.lifecycle.Lock()
+	if s.closed {
+		s.lifecycle.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	s.lifecycle.Unlock()
+	s.superWG.Wait()
 	var first error
-	for _, t := range s.trees {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		t := sh.tree
+		sh.tree = nil
+		sh.mu.Unlock()
 		if t == nil {
 			continue
 		}
-		if err := t.Close(); err != nil && first == nil {
+		if err := closeTree(t); err != nil && first == nil {
 			first = err
 		}
 	}
-	s.trees = nil
 	return first
 }
 
+// closeTree closes t, converting a panic out of Close (a quarantined
+// backend can be arbitrarily broken) into an error.
+func closeTree(t *prtree.Tree) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicToError(0, p)
+		}
+	}()
+	return t.Close()
+}
+
 // Shards returns the shard count.
-func (s *Set) Shards() int { return len(s.trees) }
+func (s *Set) Shards() int { return len(s.shards) }
+
+// Health reports the set's aggregate serving state.
+func (s *Set) Health() Health {
+	healthy := 0
+	for _, sh := range s.shards {
+		if ShardState(sh.state.Load()) == ShardHealthy {
+			healthy++
+		}
+	}
+	switch {
+	case healthy == len(s.shards):
+		return HealthOK
+	case healthy == 0:
+		return HealthDown
+	default:
+		return HealthDegraded
+	}
+}
 
 // Len returns the total item count across shards.
 func (s *Set) Len() int { return s.items }
@@ -369,26 +617,187 @@ func (s *Set) MBR() geom.Rect { return s.mbr }
 // Manifest returns the manifest the set was opened from.
 func (s *Set) Manifest() Manifest { return s.manifest }
 
-// scatter runs fn once per shard concurrently and returns the first error.
-func (s *Set) scatter(fn func(i int, t *prtree.Tree) error) error {
-	if len(s.trees) == 1 {
-		return fn(0, s.trees[0])
+// Partial reports which shards contributed nothing to a scatter-gather
+// result. The zero value means a complete result.
+type Partial struct {
+	// Failed holds the indices of missing shards in ascending order.
+	Failed []uint32
+}
+
+// Degraded reports whether the result is missing at least one shard.
+func (p Partial) Degraded() bool { return len(p.Failed) > 0 }
+
+// panicToError converts a recovered query-leg panic — a checksum
+// mismatch, an injected fault, any backend failure surfacing on the read
+// path — into an error.
+func panicToError(i int, p interface{}) error {
+	if err, ok := p.(error); ok {
+		return fmt.Errorf("serve: shard %d: %w", i, err)
+	}
+	return fmt.Errorf("serve: shard %d: panic: %v", i, p)
+}
+
+// leg runs fn against shard i if it is in rotation, converting read-path
+// panics into errors. The shard lock is read-held for the whole leg so
+// the recovery supervisor never swaps the tree under a live traversal.
+func (s *Set) leg(i int, fn func(i int, t *prtree.Tree) error) (err error) {
+	sh := s.shards[i]
+	if ShardState(sh.state.Load()) != ShardHealthy {
+		return errShardDown
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.tree == nil {
+		return errShardDown
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicToError(i, p)
+		}
+	}()
+	return fn(i, sh.tree)
+}
+
+// scatter runs fn once per shard concurrently and returns the per-shard
+// errors for resolve to classify.
+func (s *Set) scatter(fn func(i int, t *prtree.Tree) error) []error {
+	errs := make([]error, len(s.shards))
+	if len(s.shards) == 1 {
+		errs[0] = s.leg(0, fn)
+		return errs
 	}
 	var wg sync.WaitGroup
-	errs := make([]error, len(s.trees))
-	for i, t := range s.trees {
+	for i := range s.shards {
 		wg.Add(1)
-		go func(i int, t *prtree.Tree) {
+		go func(i int) {
 			defer wg.Done()
-			errs[i] = fn(i, t)
-		}(i, t)
+			errs[i] = s.leg(i, fn)
+		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return errs
+}
+
+// resolve classifies the per-shard leg errors of one query. Context
+// errors — the client hung up or its deadline expired — propagate as the
+// query's error and never count against a shard. Real backend failures
+// quarantine the shard (kicking off its recovery supervisor) and degrade
+// the response instead of failing it; only when every shard is out does
+// the query fail, with ErrUnavailable.
+func (s *Set) resolve(errs []error) (Partial, error) {
+	var p Partial
+	var ctxErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		p.Failed = append(p.Failed, uint32(i))
+		if errors.Is(err, errShardDown) {
+			continue // already out of rotation, nothing new to learn
+		}
+		s.quarantine(i, err)
+	}
+	if ctxErr != nil {
+		return Partial{}, ctxErr
+	}
+	if len(p.Failed) == len(s.shards) && len(s.shards) > 0 {
+		return Partial{}, fmt.Errorf("%w: all %d shards out of rotation", ErrUnavailable, len(s.shards))
+	}
+	return p, nil
+}
+
+// quarantine takes shard i out of rotation after a real failure and
+// spawns its recovery supervisor. Only the first caller transitions the
+// shard; concurrent legs that lost the race just add to the error count.
+func (s *Set) quarantine(i int, cause error) {
+	sh := s.shards[i]
+	sh.errs.Add(1)
+	sh.setLastErr(cause)
+	if !sh.state.CompareAndSwap(int32(ShardHealthy), int32(ShardQuarantined)) {
+		return
+	}
+	sh.quarantines.Add(1)
+	s.lifecycle.Lock()
+	if s.closed {
+		s.lifecycle.Unlock()
+		return
+	}
+	s.superWG.Add(1)
+	s.lifecycle.Unlock()
+	go s.supervise(sh)
+}
+
+// supervise is the per-quarantine recovery loop: close the broken tree,
+// reopen it (replaying any WAL tail), scrub it, and put the shard back in
+// rotation — retrying with capped exponential backoff plus jitter, and
+// declaring the shard permanently failed after MaxRecoveries attempts.
+func (s *Set) supervise(sh *shard) {
+	defer s.superWG.Done()
+	backoff := s.opt.RecoveryBackoff
+	for attempt := 1; ; attempt++ {
+		// Jittered sleep, aborted by Close. Jitter keeps a fleet of
+		// supervisors (many shards failing at once) from thundering back.
+		d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		select {
+		case <-s.done:
+			return
+		case <-time.After(d):
+		}
+		sh.attempts.Add(1)
+		err := s.reopenShard(sh, attempt)
+		if err == nil {
+			sh.recoveries.Add(1)
+			sh.state.Store(int32(ShardHealthy))
+			return
+		}
+		sh.setLastErr(err)
+		if s.opt.MaxRecoveries >= 0 && attempt >= s.opt.MaxRecoveries {
+			sh.state.Store(int32(ShardFailed))
+			return
+		}
+		backoff *= 2
+		if backoff > s.opt.RecoveryMaxBackoff {
+			backoff = s.opt.RecoveryMaxBackoff
 		}
 	}
+}
+
+// reopenShard swaps the shard's broken tree for a freshly opened one:
+// close (best-effort — the old backend may be arbitrarily broken), reopen
+// (prtree.Open replays the WAL), then scrub every page checksum and walk
+// the structure before declaring it fit to serve. Write-held for the whole
+// swap so no query leg observes a half-open tree.
+func (s *Set) reopenShard(sh *shard, attempt int) (err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicToError(sh.idx, p)
+		}
+	}()
+	if old := sh.tree; old != nil {
+		sh.tree = nil
+		closeTree(old) // best-effort; the reopen below decides health
+	}
+	tree, err := prtree.Open(filepath.Join(s.dir, sh.file), s.shardOptions(sh.idx, attempt))
+	if err != nil {
+		return err
+	}
+	if err := tree.CheckPages(); err != nil {
+		closeTree(tree)
+		return err
+	}
+	if err := tree.Validate(); err != nil {
+		closeTree(tree)
+		return err
+	}
+	sh.tree = tree
 	return nil
 }
 
@@ -413,11 +822,12 @@ func sortItems(items []geom.Item) {
 	})
 }
 
-// gather collects one query across every shard and merges the results in
-// deterministic order, applying limit after the merge.
-func (s *Set) gather(ctx context.Context, build func() prtree.Query, limit int) ([]geom.Item, error) {
-	perShard := make([][]geom.Item, len(s.trees))
-	err := s.scatter(func(i int, t *prtree.Tree) error {
+// gather collects one query across every healthy shard and merges the
+// results in deterministic order, applying limit after the merge. The
+// returned Partial lists shards missing from the result.
+func (s *Set) gather(ctx context.Context, build func() prtree.Query, limit int) ([]geom.Item, Partial, error) {
+	perShard := make([][]geom.Item, len(s.shards))
+	errs := s.scatter(func(i int, t *prtree.Tree) error {
 		q := build().WithContext(ctx)
 		if limit > 0 {
 			// Each shard can satisfy at most the whole limit; the merge
@@ -428,8 +838,12 @@ func (s *Set) gather(ctx context.Context, build func() prtree.Query, limit int) 
 		perShard[i] = out
 		return err
 	})
+	p, err := s.resolve(errs)
 	if err != nil {
-		return nil, err
+		return nil, Partial{}, err
+	}
+	for _, i := range p.Failed {
+		perShard[i] = nil // a failed leg contributes nothing, even partially
 	}
 	n := 0
 	for _, part := range perShard {
@@ -443,42 +857,47 @@ func (s *Set) gather(ctx context.Context, build func() prtree.Query, limit int) 
 	if limit > 0 && len(merged) > limit {
 		merged = merged[:limit]
 	}
-	return merged, nil
+	return merged, p, nil
 }
 
 // Window reports every item intersecting r, merged across shards into
 // ascending ID order. limit <= 0 means unlimited; with a limit the first
 // `limit` items of the merged order are returned.
-func (s *Set) Window(ctx context.Context, r geom.Rect, limit int) ([]geom.Item, error) {
+func (s *Set) Window(ctx context.Context, r geom.Rect, limit int) ([]geom.Item, Partial, error) {
 	return s.gather(ctx, func() prtree.Query { return prtree.Window(r) }, limit)
 }
 
 // Contained reports every item fully contained in r.
-func (s *Set) Contained(ctx context.Context, r geom.Rect, limit int) ([]geom.Item, error) {
+func (s *Set) Contained(ctx context.Context, r geom.Rect, limit int) ([]geom.Item, Partial, error) {
 	return s.gather(ctx, func() prtree.Query { return prtree.Contained(r) }, limit)
 }
 
 // Point reports every item containing the point (x, y).
-func (s *Set) Point(ctx context.Context, x, y float64, limit int) ([]geom.Item, error) {
+func (s *Set) Point(ctx context.Context, x, y float64, limit int) ([]geom.Item, Partial, error) {
 	return s.gather(ctx, func() prtree.Query { return prtree.Point(x, y) }, limit)
 }
 
-// Nearest returns the k items closest to (x, y) across all shards, in
-// ascending (distance, ID) order — exactly the single-tree result: each
-// shard reports its local top k and the merge keeps the global top k
-// under the tree's own deterministic tie-breaking.
-func (s *Set) Nearest(ctx context.Context, x, y float64, k int) ([]Neighbor, error) {
+// Nearest returns the k items closest to (x, y) across all healthy
+// shards, in ascending (distance, ID) order — exactly the single-tree
+// result when the set is whole: each shard reports its local top k and
+// the merge keeps the global top k under the tree's own deterministic
+// tie-breaking.
+func (s *Set) Nearest(ctx context.Context, x, y float64, k int) ([]Neighbor, Partial, error) {
 	if k <= 0 {
-		return nil, nil
+		return nil, Partial{}, nil
 	}
-	perShard := make([][]prtree.Neighbor, len(s.trees))
-	err := s.scatter(func(i int, t *prtree.Tree) error {
+	perShard := make([][]prtree.Neighbor, len(s.shards))
+	errs := s.scatter(func(i int, t *prtree.Tree) error {
 		out, err := t.CollectNearest(prtree.Nearest(x, y, k).WithContext(ctx))
 		perShard[i] = out
 		return err
 	})
+	p, err := s.resolve(errs)
 	if err != nil {
-		return nil, err
+		return nil, Partial{}, err
+	}
+	for _, i := range p.Failed {
+		perShard[i] = nil
 	}
 	var merged []Neighbor
 	for _, part := range perShard {
@@ -495,14 +914,16 @@ func (s *Set) Nearest(ctx context.Context, x, y float64, k int) ([]Neighbor, err
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged, nil
+	return merged, p, nil
 }
 
 // Batch runs every window query and returns per-query merged results,
-// indexed like rects. Shards process the whole batch concurrently.
-func (s *Set) Batch(ctx context.Context, rects []geom.Rect, limit int) ([][]geom.Item, error) {
-	perShard := make([][][]geom.Item, len(s.trees))
-	err := s.scatter(func(i int, t *prtree.Tree) error {
+// indexed like rects. Shards process the whole batch concurrently; a
+// shard failure drops that shard from every query of the batch (reported
+// once in the Partial).
+func (s *Set) Batch(ctx context.Context, rects []geom.Rect, limit int) ([][]geom.Item, Partial, error) {
+	perShard := make([][][]geom.Item, len(s.shards))
+	errs := s.scatter(func(i int, t *prtree.Tree) error {
 		outs := make([][]geom.Item, len(rects))
 		for qi, r := range rects {
 			q := prtree.Window(r).WithContext(ctx)
@@ -518,13 +939,20 @@ func (s *Set) Batch(ctx context.Context, rects []geom.Rect, limit int) ([][]geom
 		perShard[i] = outs
 		return nil
 	})
+	p, err := s.resolve(errs)
 	if err != nil {
-		return nil, err
+		return nil, Partial{}, err
+	}
+	for _, i := range p.Failed {
+		perShard[i] = nil
 	}
 	out := make([][]geom.Item, len(rects))
 	for qi := range rects {
 		var merged []geom.Item
 		for si := range perShard {
+			if perShard[si] == nil {
+				continue
+			}
 			merged = append(merged, perShard[si][qi]...)
 		}
 		sortItems(merged)
@@ -533,36 +961,73 @@ func (s *Set) Batch(ctx context.Context, rects []geom.Rect, limit int) ([][]geom
 		}
 		out[qi] = merged
 	}
-	return out, nil
+	return out, p, nil
 }
 
-// SetStats aggregates the set's I/O and cache counters.
+// ShardStatus is one shard's health record in SetStats.
+type ShardStatus struct {
+	File        string
+	State       ShardState
+	Errors      uint64 // query legs that failed against this shard
+	Quarantines uint64 // healthy → quarantined transitions
+	Recoveries  uint64 // quarantined → healthy transitions
+	Attempts    uint64 // reopen attempts by the supervisor
+	LastErr     string
+}
+
+// SetStats aggregates the set's I/O, cache and health counters.
 type SetStats struct {
-	Shards int
-	Items  int
-	IO     prtree.IOStats
-	Cache  prtree.CacheStats
+	Shards  int
+	Healthy int
+	Items   int
+	IO      prtree.IOStats
+	Cache   prtree.CacheStats
+	Status  []ShardStatus
 }
 
-// Stats sums the per-shard backend and pager counters. The cache capacity
-// reported is the summed per-shard budget; the policy is the shared one.
+// Stats sums the per-shard backend and pager counters and snapshots each
+// shard's health record. The cache capacity reported is the summed
+// per-shard budget of the shards currently in rotation; the policy is the
+// shared one.
 func (s *Set) Stats() SetStats {
-	st := SetStats{Shards: len(s.trees), Items: s.items}
-	for i, t := range s.trees {
+	st := SetStats{Shards: len(s.shards), Items: s.items}
+	first := true
+	for _, sh := range s.shards {
+		status := ShardStatus{
+			File:        sh.file,
+			State:       ShardState(sh.state.Load()),
+			Errors:      sh.errs.Load(),
+			Quarantines: sh.quarantines.Load(),
+			Recoveries:  sh.recoveries.Load(),
+			Attempts:    sh.attempts.Load(),
+			LastErr:     sh.lastErrString(),
+		}
+		if status.State == ShardHealthy {
+			st.Healthy++
+		}
+		st.Status = append(st.Status, status)
+		sh.mu.RLock()
+		t := sh.tree
+		if t == nil {
+			sh.mu.RUnlock()
+			continue
+		}
 		io := t.IOStats()
 		st.IO.Reads += io.Reads
 		st.IO.Writes += io.Writes
 		st.IO.PrefetchReads += io.PrefetchReads
 		cs := t.CacheStats()
+		sh.mu.RUnlock()
 		st.Cache.Hits += cs.Hits
 		st.Cache.Misses += cs.Misses
 		st.Cache.Evictions += cs.Evictions
 		st.Cache.PrefetchIssued += cs.PrefetchIssued
 		st.Cache.PrefetchUsed += cs.PrefetchUsed
 		st.Cache.Resident += cs.Resident
-		if i == 0 {
+		if first {
 			st.Cache.Policy = cs.Policy
 			st.Cache.Capacity = cs.Capacity
+			first = false
 		} else if cs.Capacity > 0 && st.Cache.Capacity > 0 {
 			st.Cache.Capacity += cs.Capacity
 		}

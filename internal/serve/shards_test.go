@@ -12,6 +12,7 @@ import (
 	"prtree"
 	"prtree/internal/dataset"
 	"prtree/internal/geom"
+	"prtree/internal/storage"
 	"prtree/internal/workload"
 )
 
@@ -70,7 +71,7 @@ func TestShardEquivalence(t *testing.T) {
 
 				// Window: intersection queries.
 				for _, w := range windows {
-					got, err := set.Window(ctx, w, 0)
+					got, _, err := set.Window(ctx, w, 0)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -84,7 +85,7 @@ func TestShardEquivalence(t *testing.T) {
 
 				// Containment.
 				for _, w := range big {
-					got, err := set.Contained(ctx, w, 0)
+					got, _, err := set.Contained(ctx, w, 0)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -99,7 +100,7 @@ func TestShardEquivalence(t *testing.T) {
 				// Point stabbing at window centers.
 				for _, w := range windows {
 					x, y := w.Center()
-					got, err := set.Point(ctx, x, y, 0)
+					got, _, err := set.Point(ctx, x, y, 0)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -115,7 +116,7 @@ func TestShardEquivalence(t *testing.T) {
 				// any single shard's item count.
 				for _, k := range []int{1, 10, n/shards + 5} {
 					x, y := windows[0].Center()
-					got, err := set.Nearest(ctx, x, y, k)
+					got, _, err := set.Nearest(ctx, x, y, k)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -134,7 +135,7 @@ func TestShardEquivalence(t *testing.T) {
 				}
 
 				// Batch matches per-rect windows.
-				sets, err := set.Batch(ctx, windows, 0)
+				sets, _, err := set.Batch(ctx, windows, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -142,7 +143,7 @@ func TestShardEquivalence(t *testing.T) {
 					t.Fatalf("batch returned %d sets, want %d", len(sets), len(windows))
 				}
 				for i, w := range windows {
-					single, err := set.Window(ctx, w, 0)
+					single, _, err := set.Window(ctx, w, 0)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -152,12 +153,12 @@ func TestShardEquivalence(t *testing.T) {
 				// Limits: the subset is each shard's prefix merged and
 				// trimmed — deterministic (repeatable) and drawn from the
 				// full result, though not necessarily its global prefix.
-				full, err := set.Window(ctx, big[0], 0)
+				full, _, err := set.Window(ctx, big[0], 0)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if len(full) > 3 {
-					lim, err := set.Window(ctx, big[0], 3)
+					lim, _, err := set.Window(ctx, big[0], 3)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -176,7 +177,7 @@ func TestShardEquivalence(t *testing.T) {
 							t.Fatalf("limit: results out of order at %d", i)
 						}
 					}
-					again, err := set.Window(ctx, big[0], 3)
+					again, _, err := set.Window(ctx, big[0], 3)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -185,6 +186,77 @@ func TestShardEquivalence(t *testing.T) {
 			})
 		}
 	}
+
+	// Post-recovery bit-identity: a shard is fault-injected mid-query,
+	// quarantined, and auto-recovered; every query kind must then match
+	// the single tree exactly again, as if the failure never happened.
+	t.Run("post-recovery", func(t *testing.T) {
+		dir := t.TempDir()
+		if _, err := Build(dir, items, BuildOptions{Shards: 3, Partition: PartitionHilbert}); err != nil {
+			t.Fatal(err)
+		}
+		var faulty *storage.Faulty
+		opt := OpenOptions{
+			RecoveryBackoff:    time.Millisecond,
+			RecoveryMaxBackoff: 5 * time.Millisecond,
+		}
+		opt.wrapShard = func(idx, attempt int, b prtree.Backend) prtree.Backend {
+			if idx != 1 || attempt > 0 {
+				return b
+			}
+			f := storage.NewFaulty(b, storage.FaultError, 0)
+			f.InjectReads(true)
+			faulty = f
+			return f
+		}
+		set, err := Open(dir, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer set.Close()
+
+		faulty.Arm(2)
+		if _, p, err := set.Window(ctx, world, 0); err != nil || !p.Degraded() {
+			t.Fatalf("armed window: partial=%v err=%v, want degraded", p, err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for set.Health() != HealthOK && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if set.Health() != HealthOK {
+			t.Fatalf("set never recovered: %+v", set.Stats().Status)
+		}
+
+		for _, w := range windows {
+			got, p, err := set.Window(ctx, w, 0)
+			if err != nil || p.Degraded() {
+				t.Fatalf("post-recovery window: partial=%v err=%v", p, err)
+			}
+			want, err := tree.Collect(prtree.Window(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortItems(want)
+			assertSameItems(t, "post-recovery window", got, want)
+		}
+		x, y := windows[0].Center()
+		got, p, err := set.Nearest(ctx, x, y, 25)
+		if err != nil || p.Degraded() {
+			t.Fatalf("post-recovery nearest: partial=%v err=%v", p, err)
+		}
+		want, err := tree.CollectNearest(prtree.Nearest(x, y, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("post-recovery nearest: %d results, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Item != want[i].Item || got[i].Dist2 != want[i].Dist2 {
+				t.Fatalf("post-recovery nearest: result %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
 }
 
 func assertSameItems(t *testing.T, label string, got, want []geom.Item) {
@@ -271,7 +343,7 @@ func TestSharedCacheBudget(t *testing.T) {
 		t.Errorf("summed cache capacity %d, want 8", st.Cache.Capacity)
 	}
 	// Queries must still work under the tight budget and count IO.
-	if _, err := set.Window(context.Background(), set.MBR(), 0); err != nil {
+	if _, _, err := set.Window(context.Background(), set.MBR(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if st = set.Stats(); st.IO.Reads == 0 {
@@ -286,10 +358,10 @@ func TestSetDeadline(t *testing.T) {
 	set := buildSet(t, items, 4, PartitionHilbert)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	if _, err := set.Window(ctx, set.MBR(), 0); !errors.Is(err, context.DeadlineExceeded) {
+	if _, _, err := set.Window(ctx, set.MBR(), 0); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("window: got %v, want context.DeadlineExceeded", err)
 	}
-	if _, err := set.Nearest(ctx, 0, 0, 10); !errors.Is(err, context.DeadlineExceeded) {
+	if _, _, err := set.Nearest(ctx, 0, 0, 10); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("nearest: got %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -65,9 +65,10 @@ type Faulty struct {
 	inner Backend
 	mode  FaultMode
 
-	ops     atomic.Int64
-	trigger atomic.Int64
-	tripped atomic.Bool
+	ops       atomic.Int64
+	trigger   atomic.Int64
+	tripped   atomic.Bool
+	readFault atomic.Bool
 }
 
 // NewFaulty wraps b. The fault fires on the triggerAfter-th counted
@@ -134,15 +135,41 @@ func (f *Faulty) Alloc() PageID { return f.inner.Alloc() }
 // Free implements Backend (uncounted).
 func (f *Faulty) Free(id PageID) { f.inner.Free(id) }
 
-// Read implements Backend. Reads are never failure-injected (the write
-// path is the durability surface under test) and are uncounted.
-func (f *Faulty) Read(id PageID, buf []byte) int { return f.inner.Read(id, buf) }
+// InjectReads makes Read/ReadNoCopy/PeekNoCopy counted injection points
+// too (they are uncounted pass-throughs by default: the write path is the
+// usual durability surface under test). A firing read always panics with
+// an error wrapping ErrInjectedFault regardless of mode — reads have no
+// error return, and a panic is exactly how a real checksum mismatch
+// surfaces on the read path — so the serving tier's quarantine machinery
+// sees injected faults and real corruption identically.
+func (f *Faulty) InjectReads(on bool) { f.readFault.Store(on) }
+
+// readStep counts one read when read injection is enabled and panics if
+// the fault fires on it.
+func (f *Faulty) readStep() {
+	if f.readFault.Load() && f.step() {
+		panic(f.injected("read"))
+	}
+}
+
+// Read implements Backend. Reads are uncounted pass-throughs unless
+// InjectReads armed them as injection points.
+func (f *Faulty) Read(id PageID, buf []byte) int {
+	f.readStep()
+	return f.inner.Read(id, buf)
+}
 
 // ReadNoCopy implements Backend.
-func (f *Faulty) ReadNoCopy(id PageID) []byte { return f.inner.ReadNoCopy(id) }
+func (f *Faulty) ReadNoCopy(id PageID) []byte {
+	f.readStep()
+	return f.inner.ReadNoCopy(id)
+}
 
 // PeekNoCopy implements Backend.
-func (f *Faulty) PeekNoCopy(id PageID) []byte { return f.inner.PeekNoCopy(id) }
+func (f *Faulty) PeekNoCopy(id PageID) []byte {
+	f.readStep()
+	return f.inner.PeekNoCopy(id)
+}
 
 // Write implements Backend, applying the configured fault when triggered:
 // FaultTorn truncates this write to half a block, FaultStop drops it,

@@ -165,6 +165,16 @@ type Options struct {
 	// always use the file-backed store at their path. The backend's block
 	// size wins over BlockSize when both are set.
 	Backend Backend
+	// WrapBackend, when set, decorates the raw block store of a
+	// file-backed tree (Create/Open) after the optional mmap layer and
+	// before the counting decorator and pager are assembled on top. It is
+	// the seam fault-injection harnesses use to place a decorator such as
+	// NewFaultyBackend under a real on-disk tree. The wrapper should
+	// expose the wrapped backend via an Unwrap() Backend method (as the
+	// fault decorator does) so file-level tools — CheckPages, transaction
+	// brackets — keep reaching the underlying store. Ignored by the
+	// in-memory constructors.
+	WrapBackend func(Backend) Backend
 }
 
 // normalized fills in the zero-value defaults. CacheCapacity keeps 0 as
