@@ -23,6 +23,10 @@
 //	        (read-only; exits nonzero on the first corrupt page)
 //	recover replay the write-ahead log if the file was not closed cleanly,
 //	        report what was restored, and checkpoint so the log drains
+//	compact force a full synchronous compaction of a dynamic index file
+//	        (-index): merge the buffer and every logarithmic-method level
+//	        into one static PR-tree, printing level occupancy and page
+//	        counts before and after
 //
 // With -index and no -in, the index file is opened in place (no rebuild);
 // with -in and no -index, the tree is built in memory as before.
@@ -147,6 +151,36 @@ func main() {
 		}
 		fmt.Printf("created %s: %d items with loader %v (%d reads, %d writes)\n",
 			*index, len(items), loader, buildIO.Reads, buildIO.Writes)
+		return
+	}
+
+	if flag.Arg(0) == "compact" {
+		if *index == "" || *in != "" {
+			fmt.Fprintln(os.Stderr, "prtool: compact needs -index (a dynamic index file) and no -in")
+			os.Exit(2)
+		}
+		d, err := prtree.OpenDynamic(*index, opts)
+		if err != nil {
+			fatalOpen(err)
+		}
+		if ri := d.Recovery(); ri != nil {
+			fmt.Printf("recovery: %s\n", ri)
+		}
+		printDynamicShape("before", d)
+		if err := d.FlushE(); err != nil {
+			fatal(err)
+		}
+		if err := d.Sync(); err != nil {
+			fatal(err)
+		}
+		printDynamicShape("after", d)
+		if err := d.CheckPages(); err != nil {
+			fmt.Printf("checksums: FAILED: %v\n", err)
+			os.Exit(exitCorrupt)
+		}
+		if err := d.Close(); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -287,6 +321,26 @@ func main() {
 	}
 }
 
+// printDynamicShape prints a dynamic index's level occupancy and page
+// accounting, labelled so compact's before/after pair reads as a diff.
+func printDynamicShape(label string, d *prtree.Dynamic) {
+	total, inUse := d.PageCounts()
+	fmt.Printf("%s: %d items (buffer %d, base %d)\n", label, d.Len(), d.BufferLen(), d.Base())
+	sizes := d.LevelSizes()
+	occupied := 0
+	for k, sz := range sizes {
+		if sz == 0 {
+			continue
+		}
+		occupied++
+		fmt.Printf("%s:   level %2d: %d items\n", label, k, sz)
+	}
+	if occupied == 0 {
+		fmt.Printf("%s:   no occupied levels\n", label)
+	}
+	fmt.Printf("%s: pages %d in use of %d allocated\n", label, inUse, total)
+}
+
 // printCache reports the pager's cache behavior: the active eviction
 // policy and capacity plus the hit/miss/eviction (and prefetch) counters
 // accumulated so far in this process.
@@ -311,7 +365,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: prtool -in data.bin [-loader PR] stats|query x1,y1,x2,y2|bench
        prtool -in data.bin -index file.pr create
        prtool -in data.bin -out dir -shards N [-partition hilbert|grid] shard
-       prtool -index file.pr stats|query x1,y1,x2,y2|bench|fsck|recover`)
+       prtool -index file.pr stats|query x1,y1,x2,y2|bench|fsck|recover
+       prtool -index file.pr compact   (dynamic index files only)`)
 	os.Exit(2)
 }
 

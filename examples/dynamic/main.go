@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 
@@ -11,6 +12,9 @@ import (
 )
 
 func main() {
+	out := flag.String("out", "", "also persist a file-backed index with background compaction at this path")
+	flag.Parse()
+
 	idx := prtree.NewDynamic(nil)
 	rng := rand.New(rand.NewSource(99))
 
@@ -51,4 +55,29 @@ func main() {
 	st = idx.Query(q, nil)
 	fmt.Printf("after flush: %d results, %d leaf blocks (single level)\n",
 		st.Results, st.LeavesVisited)
+
+	if *out == "" {
+		return
+	}
+
+	// The same index, durable and with online compaction: merges run in a
+	// background goroutine while InsertE returns after an O(1) buffer
+	// append, and readers keep serving snapshot-isolated pages throughout.
+	fmt.Printf("\npersisting a background-compacted index at %s...\n", *out)
+	d, err := prtree.CreateDynamic(*out, &prtree.Options{BackgroundCompaction: true})
+	if err != nil {
+		panic(err)
+	}
+	for _, it := range items {
+		if err := d.InsertE(it); err != nil {
+			panic(err)
+		}
+	}
+	cs := d.CompactionStats()
+	fmt.Printf("background merges: %d completed, %d aborted, write amp %.2f\n",
+		cs.MergesCompleted, cs.MergesAborted, cs.WriteAmplification)
+	if err := d.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Println("closed; reopen with prtree.OpenDynamic or compact with `prtool -index", *out, "compact`")
 }

@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// TestCompactionResultIdentity runs the online-compaction benchmark at a
+// small scale and checks its own invariant column: the sync and
+// background runs must report identical query-result fingerprints, and
+// the background run must actually merge in the background.
+func TestCompactionResultIdentity(t *testing.T) {
+	tab := Compaction(Config{Scale: 0.1, Queries: 20})
+	if tab.ID != "compact" {
+		t.Fatalf("id = %q", tab.ID)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (sync, background)", len(tab.Rows))
+	}
+	crcCol := len(tab.Columns) - 1
+	if tab.Rows[0][crcCol] != tab.Rows[1][crcCol] {
+		t.Errorf("result crc diverges: sync %s, background %s",
+			tab.Rows[0][crcCol], tab.Rows[1][crcCol])
+	}
+	if merges := tab.Rows[1][5]; merges == "0" {
+		t.Errorf("background row reports no completed merges")
+	}
+}

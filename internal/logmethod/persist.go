@@ -1,0 +1,274 @@
+package logmethod
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"prtree/internal/bulk"
+	"prtree/internal/geom"
+	"prtree/internal/rtree"
+	"prtree/internal/storage"
+)
+
+// Persistence for the dynamized tree. The component directory is split
+// between the backend's metadata blob and dedicated state pages:
+//
+//   - The meta blob (staged with SetMeta inside the caller's commit, so
+//     it swaps atomically with the page writes) holds the fixed-size
+//     part: magic, base, live/stored counters, the spill-chain heads,
+//     and one rtree meta record per level slot.
+//   - The buffer and the tombstone set can outgrow the meta blob's
+//     one-block budget, so their records spill into chained state pages
+//     (each page: next-pointer, count, packed 36-byte records). The
+//     chains are rewritten wholesale on every SaveState — the buffer is
+//     small by construction (≤ base items, a few pages) and the
+//     tombstone set is bounded by the GC rebuild at half the stored
+//     items.
+//
+// SaveState must run inside the same backend transaction as the mutation
+// it records: the chain rewrite (frees + fresh pages) then commits
+// atomically with the meta swap, and a crash recovers either the whole
+// new state or the whole old one via the existing WAL replay.
+
+// dynMagic identifies a serialized logmethod directory (version 1).
+var dynMagic = [8]byte{'P', 'R', 'D', 'Y', 'N', 'A', '0', '1'}
+
+const (
+	itemRecSize     = 4 + 4*8 // ID + 4 float64 coords
+	spillHeaderSize = 4 + 2   // next PageID + record count
+	dynHeaderSize   = 8 + 4*8 // magic + base,live,stored,bufHead,bufCount,deadHead,deadCount,nLevels
+)
+
+// SaveState rewrites the spill chains on dev and returns the meta blob
+// describing the full directory. Call inside the transaction bracketing
+// the mutation being persisted; stage the returned blob with SetMeta
+// before committing.
+func (t *Tree) SaveState(dev storage.Backend) []byte {
+	s := t.st.Load()
+
+	// Fold the in-flight merge snapshot back into the buffer image: on
+	// recovery the carry no longer exists, so its inputs are plain buffer
+	// items again. Tombstones that target merge-snapshot items resolve
+	// physically here, exactly as Carry.Abort resolves them in memory.
+	items := make([]geom.Item, 0, len(s.buffer)+len(s.merging))
+	dead := s.dead
+	stored := s.stored
+	if len(s.merging) > 0 {
+		copied := false
+		for _, it := range s.merging {
+			if r, gone := dead[it.ID]; gone && r == it.Rect {
+				if !copied {
+					dead = copyDead(dead)
+					copied = true
+				}
+				delete(dead, it.ID)
+				stored--
+				continue
+			}
+			items = append(items, it)
+		}
+	}
+	items = append(items, s.buffer...)
+
+	// Replace the previous spill chains wholesale.
+	for _, id := range t.spill {
+		dev.Free(id)
+	}
+	t.spill = t.spill[:0]
+	bufHead, bufPages := t.writeChain(dev, items, nil)
+	deadHead, deadPages := t.writeChain(dev, nil, dead)
+	t.spill = append(t.spill, bufPages...)
+	t.spill = append(t.spill, deadPages...)
+
+	meta := make([]byte, 0, dynHeaderSize+len(s.levels)*(1+rtree.MetaSize))
+	meta = append(meta, dynMagic[:]...)
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(t.base))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(s.live))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(stored))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(bufHead))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(items)))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(deadHead))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(dead)))
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(s.levels)))
+	for _, l := range s.levels {
+		if l == nil {
+			meta = append(meta, 0)
+			continue
+		}
+		meta = append(meta, 1)
+		meta = append(meta, l.EncodeMeta()...)
+	}
+	return meta
+}
+
+// writeChain packs records (either an item slice or a tombstone map) into
+// a fresh chain of state pages and returns the head id (NilPage when
+// empty) plus the allocated pages.
+func (t *Tree) writeChain(dev storage.Backend, items []geom.Item, dead map[uint32]geom.Rect) (storage.PageID, []storage.PageID) {
+	recs := items
+	if dead != nil {
+		recs = make([]geom.Item, 0, len(dead))
+		for id, r := range dead {
+			recs = append(recs, geom.Item{ID: id, Rect: r})
+		}
+	}
+	if len(recs) == 0 {
+		return storage.NilPage, nil
+	}
+	perPage := (dev.BlockSize() - spillHeaderSize) / itemRecSize
+	if perPage <= 0 {
+		panic("logmethod: block size too small for state records")
+	}
+	nPages := (len(recs) + perPage - 1) / perPage
+	pages := make([]storage.PageID, nPages)
+	for i := range pages {
+		pages[i] = dev.Alloc()
+	}
+	buf := make([]byte, 0, dev.BlockSize())
+	for i := 0; i < nPages; i++ {
+		lo, hi := i*perPage, (i+1)*perPage
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		next := storage.NilPage
+		if i+1 < nPages {
+			next = pages[i+1]
+		}
+		buf = buf[:0]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(next))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(hi-lo))
+		for _, it := range recs[lo:hi] {
+			buf = appendItem(buf, it)
+		}
+		dev.Write(pages[i], buf)
+	}
+	return pages[0], pages
+}
+
+func appendItem(buf []byte, it geom.Item) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, it.ID)
+	for _, f := range [4]float64{it.Rect.MinX, it.Rect.MinY, it.Rect.MaxX, it.Rect.MaxY} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	return buf
+}
+
+func decodeItem(b []byte) geom.Item {
+	return geom.Item{
+		ID: binary.LittleEndian.Uint32(b),
+		Rect: geom.Rect{
+			MinX: math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
+			MinY: math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+			MaxX: math.Float64frombits(binary.LittleEndian.Uint64(b[20:])),
+			MaxY: math.Float64frombits(binary.LittleEndian.Uint64(b[28:])),
+		},
+	}
+}
+
+// OpenState reconstructs a dynamized tree from a meta blob SaveState
+// produced, reading the spill chains and reopening every level in place.
+func OpenState(pager *storage.Pager, opt bulk.Options, meta []byte) (*Tree, error) {
+	if len(meta) < dynHeaderSize {
+		return nil, fmt.Errorf("logmethod: metadata record of %d bytes, want >= %d", len(meta), dynHeaderSize)
+	}
+	if [8]byte(meta[:8]) != dynMagic {
+		return nil, fmt.Errorf("logmethod: bad directory magic %q", meta[:8])
+	}
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(meta[off:]) }
+	base := int(u32(8))
+	live := int(u32(12))
+	stored := int(u32(16))
+	bufHead := storage.PageID(u32(20))
+	bufCount := int(u32(24))
+	deadHead := storage.PageID(u32(28))
+	deadCount := int(u32(32))
+	nLevels := int(u32(36))
+	if base <= 0 {
+		return nil, fmt.Errorf("logmethod: non-positive base %d", base)
+	}
+
+	t := New(pager, opt, base)
+	dev := pager.Backend()
+	buffer, bufPages, err := readChain(dev, bufHead, bufCount)
+	if err != nil {
+		return nil, fmt.Errorf("logmethod: buffer chain: %w", err)
+	}
+	deadItems, deadPages, err := readChain(dev, deadHead, deadCount)
+	if err != nil {
+		return nil, fmt.Errorf("logmethod: tombstone chain: %w", err)
+	}
+	dead := make(map[uint32]geom.Rect, len(deadItems))
+	for _, it := range deadItems {
+		dead[it.ID] = it.Rect
+	}
+
+	levels := make([]*rtree.Tree, nLevels)
+	off := dynHeaderSize
+	for i := 0; i < nLevels; i++ {
+		if off >= len(meta) {
+			return nil, fmt.Errorf("logmethod: truncated level table at slot %d", i)
+		}
+		present := meta[off]
+		off++
+		if present == 0 {
+			continue
+		}
+		if off+rtree.MetaSize > len(meta) {
+			return nil, fmt.Errorf("logmethod: truncated level meta at slot %d", i)
+		}
+		l, err := rtree.OpenFromMeta(pager, meta[off:off+rtree.MetaSize])
+		if err != nil {
+			return nil, fmt.Errorf("logmethod: level %d: %w", i, err)
+		}
+		levels[i] = l
+		off += rtree.MetaSize
+	}
+
+	t.st.Store(&state{
+		buffer: buffer,
+		levels: levels,
+		dead:   dead,
+		live:   live,
+		stored: stored,
+	})
+	// The chains on disk are still the committed ones; the next SaveState
+	// frees them when it writes replacements.
+	t.spill = append(bufPages, deadPages...)
+	return t, nil
+}
+
+// readChain walks a spill chain, returning its records and page ids.
+// count is the expected total, used both to pre-size and as a corruption
+// bound on the walk.
+func readChain(dev storage.Backend, head storage.PageID, count int) ([]geom.Item, []storage.PageID, error) {
+	if head == storage.NilPage {
+		if count != 0 {
+			return nil, nil, fmt.Errorf("empty chain with declared count %d", count)
+		}
+		return nil, nil, nil
+	}
+	out := make([]geom.Item, 0, count)
+	var pages []storage.PageID
+	buf := make([]byte, dev.BlockSize())
+	for id := head; id != storage.NilPage; {
+		if len(pages) > count+1 {
+			return nil, nil, fmt.Errorf("chain longer than declared count %d", count)
+		}
+		pages = append(pages, id)
+		dev.Read(id, buf)
+		next := storage.PageID(binary.LittleEndian.Uint32(buf))
+		n := int(binary.LittleEndian.Uint16(buf[4:]))
+		if spillHeaderSize+n*itemRecSize > len(buf) {
+			return nil, nil, fmt.Errorf("state page %d declares %d records", id, n)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, decodeItem(buf[spillHeaderSize+i*itemRecSize:]))
+		}
+		id = next
+	}
+	if len(out) != count {
+		return nil, nil, fmt.Errorf("chain holds %d records, meta declares %d", len(out), count)
+	}
+	return out, pages, nil
+}

@@ -323,6 +323,21 @@ func (t *Tree) MBR() geom.Rect {
 // afterwards (MBR remains safe and reports an empty rect). Callers that
 // rebuild indexes (e.g. the logarithmic method) use this to reclaim space.
 func (t *Tree) Release() {
+	t.FreePages()
+	t.root = storage.NilPage
+	t.nItems = 0
+	t.height = 0
+	t.nNodes = 0
+}
+
+// FreePages frees every page of the tree back to the backend WITHOUT
+// mutating the in-memory structure. This is the release path for a tree
+// that lock-free readers may still be traversing through a stale
+// directory snapshot (see internal/logmethod): the backend's epoch pins
+// keep the freed pages byte-stable until those readers drain, and leaving
+// the struct untouched keeps their root/height loads race-free. The tree
+// must not be used for new work after FreePages.
+func (t *Tree) FreePages() {
 	var pages []storage.PageID
 	t.Walk(func(page storage.PageID, _ int, _ bool, _ []geom.Item) {
 		pages = append(pages, page)
@@ -330,10 +345,6 @@ func (t *Tree) Release() {
 	for _, p := range pages {
 		t.freeNode(p)
 	}
-	t.root = storage.NilPage
-	t.nItems = 0
-	t.height = 0
-	t.nNodes = 0
 }
 
 // Utilization returns average node fill as a fraction of fanout, computed

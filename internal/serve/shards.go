@@ -973,6 +973,7 @@ type ShardStatus struct {
 	Recoveries  uint64 // quarantined → healthy transitions
 	Attempts    uint64 // reopen attempts by the supervisor
 	LastErr     string
+	Snapshot    prtree.SnapshotStats // storage epoch state (online-compaction machinery)
 }
 
 // SetStats aggregates the set's I/O, cache and health counters.
@@ -1005,13 +1006,15 @@ func (s *Set) Stats() SetStats {
 		if status.State == ShardHealthy {
 			st.Healthy++
 		}
-		st.Status = append(st.Status, status)
 		sh.mu.RLock()
 		t := sh.tree
 		if t == nil {
 			sh.mu.RUnlock()
+			st.Status = append(st.Status, status)
 			continue
 		}
+		status.Snapshot = t.SnapshotStats()
+		st.Status = append(st.Status, status)
 		io := t.IOStats()
 		st.IO.Reads += io.Reads
 		st.IO.Writes += io.Writes

@@ -135,6 +135,12 @@ var (
 
 	_ StableReader = (*MmapBackend)(nil)
 	_ StableReader = (*Counting)(nil)
+
+	_ Snapshotter = (*Disk)(nil)
+	_ Snapshotter = (*FileBackend)(nil)
+	_ Snapshotter = (*MmapBackend)(nil)
+	_ Snapshotter = (*Counting)(nil)
+	_ Snapshotter = (*Faulty)(nil)
 )
 
 // Transactional is the optional atomicity seam a Backend may implement.

@@ -171,5 +171,19 @@ func (c *Counting) Rollback() {
 // Sync implements Backend.
 func (c *Counting) Sync() error { return c.inner.Sync() }
 
+// SnapshotEnter implements Snapshotter, forwarding to the wrapped backend
+// when it has the capability — snapshot bookkeeping is not I/O and is
+// never counted.
+func (c *Counting) SnapshotEnter() uint64 { return EnsureSnapshotter(c.inner).SnapshotEnter() }
+
+// SnapshotLeave implements Snapshotter (uncounted); see SnapshotEnter.
+func (c *Counting) SnapshotLeave(epoch uint64) { EnsureSnapshotter(c.inner).SnapshotLeave(epoch) }
+
+// SnapshotAdvance implements Snapshotter (uncounted); see SnapshotEnter.
+func (c *Counting) SnapshotAdvance() { EnsureSnapshotter(c.inner).SnapshotAdvance() }
+
+// SnapshotStats implements Snapshotter (uncounted); see SnapshotEnter.
+func (c *Counting) SnapshotStats() SnapshotStats { return EnsureSnapshotter(c.inner).SnapshotStats() }
+
 // Close implements Backend.
 func (c *Counting) Close() error { return c.inner.Close() }

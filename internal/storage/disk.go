@@ -84,6 +84,8 @@ type Disk struct {
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
+
+	epochPins // Snapshotter: epoch-pinned reclamation of freed pages
 }
 
 // NewDisk returns an empty disk with the given block size.
@@ -98,15 +100,17 @@ func NewDisk(blockSize int) *Disk {
 func (d *Disk) BlockSize() int { return d.blockSize }
 
 // Alloc reserves a page and returns its id. The page contents are zeroed.
-// Allocation itself is not counted as I/O; the subsequent Write is.
+// Allocation itself is not counted as I/O; the subsequent Write is. Freed
+// pages pinned by an active snapshot reader (see Snapshotter) are skipped:
+// their bytes may still be dereferenced, so the disk extends instead.
 func (d *Disk) Alloc() PageID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if n := len(d.free); n > 0 {
-		id := d.free[n-1]
-		d.free = d.free[:n-1]
-		for i := range d.pages[id] {
-			d.pages[id][i] = 0
+	if i := d.pickFree(d.free); i >= 0 {
+		var id PageID
+		d.free, id = removeAt(d.free, i)
+		for j := range d.pages[id] {
+			d.pages[id][j] = 0
 		}
 		return id
 	}
@@ -115,11 +119,15 @@ func (d *Disk) Alloc() PageID {
 }
 
 // Free returns a page to the freelist. Freeing is not counted as I/O.
+// While snapshot readers are active the page is retired instead of
+// recycled: it joins the freelist but Alloc withholds it until the
+// readers that might still reference it drain.
 func (d *Disk) Free(id PageID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.checkIDLocked(id)
 	d.free = append(d.free, id)
+	d.retire(id)
 }
 
 // page returns the backing slice of page id; the per-page slice never moves

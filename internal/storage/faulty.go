@@ -238,6 +238,19 @@ func (f *Faulty) Rollback() {
 	EnsureTransactional(f.inner).Rollback()
 }
 
+// SnapshotEnter implements Snapshotter (uncounted, never faulted —
+// snapshot bookkeeping is in-memory, not a disk operation).
+func (f *Faulty) SnapshotEnter() uint64 { return EnsureSnapshotter(f.inner).SnapshotEnter() }
+
+// SnapshotLeave implements Snapshotter (uncounted, never faulted).
+func (f *Faulty) SnapshotLeave(epoch uint64) { EnsureSnapshotter(f.inner).SnapshotLeave(epoch) }
+
+// SnapshotAdvance implements Snapshotter (uncounted, never faulted).
+func (f *Faulty) SnapshotAdvance() { EnsureSnapshotter(f.inner).SnapshotAdvance() }
+
+// SnapshotStats implements Snapshotter (uncounted, never faulted).
+func (f *Faulty) SnapshotStats() SnapshotStats { return EnsureSnapshotter(f.inner).SnapshotStats() }
+
 // Sync implements Backend, an injection point like Commit.
 func (f *Faulty) Sync() error {
 	if f.step() {

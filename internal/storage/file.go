@@ -89,6 +89,7 @@ type FileBackend struct {
 	// header rewrite). See SetCrashAfterSteps.
 	steps      atomic.Int64
 	crashAfter atomic.Int64
+	rollbacks  atomic.Uint64
 
 	mu         sync.RWMutex
 	numPages   int
@@ -115,6 +116,8 @@ type FileBackend struct {
 	// inside mu (writers hold mu.RLock, Begin/Commit/Rollback hold mu).
 	txMu sync.Mutex
 	tx   *fileTx
+
+	epochPins // Snapshotter: epoch-pinned reclamation of freed pages
 }
 
 // fileTx is one open transaction: the pre-transaction state needed for
@@ -556,9 +559,9 @@ func (fb *FileBackend) checkIDLocked(id PageID) {
 func (fb *FileBackend) Alloc() PageID {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
-	if n := len(fb.free); n > 0 {
-		id := fb.free[n-1]
-		fb.free = fb.free[:n-1]
+	if i := fb.pickFree(fb.free); i >= 0 {
+		var id PageID
+		fb.free, id = removeAt(fb.free, i)
 		if fb.tx != nil {
 			// The zero fill must be durable by commit time even though
 			// the page is never explicitly written.
@@ -572,11 +575,16 @@ func (fb *FileBackend) Alloc() PageID {
 	return id
 }
 
-// Free implements Backend.
+// Free implements Backend. While snapshot readers are active the page is
+// retired (see Snapshotter): it reaches the freelist as usual — inside a
+// transaction at Commit, so the committed state never leaks it across a
+// crash — but Alloc withholds it until the readers that might still
+// dereference its bytes drain.
 func (fb *FileBackend) Free(id PageID) {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	fb.checkIDLocked(id)
+	fb.retire(id)
 	if tx := fb.tx; tx != nil {
 		// Freed pages join the allocator only at Commit; their redo
 		// image, if any, is dropped (the content no longer matters).
@@ -967,7 +975,20 @@ func (fb *FileBackend) Rollback() {
 	fb.free = tx.prevFree
 	fb.meta = tx.prevMeta
 	fb.tx = nil
+	// Restoring the pre-transaction allocator state also revokes any page
+	// a concurrent off-transaction producer (a background compaction
+	// build) allocated while the transaction was open. Such producers
+	// watch this counter and abandon their half-built pages when it moves.
+	fb.rollbacks.Add(1)
 }
+
+// Rollbacks returns how many transactions have been rolled back over the
+// backend's lifetime. A rollback restores the committed allocator state
+// wholesale, which revokes pages allocated by anyone while the
+// transaction was open — off-transaction page producers (background
+// compaction builds) snapshot this counter before allocating and discard
+// their work without freeing when it changed underneath them.
+func (fb *FileBackend) Rollbacks() uint64 { return fb.rollbacks.Load() }
 
 // Sync implements Backend: a checkpoint. It rewrites the header block and
 // the freelist trailer, truncates the file to its exact recorded size,

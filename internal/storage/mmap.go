@@ -307,6 +307,18 @@ func (m *MmapBackend) Commit() error {
 // Rollback implements Transactional.
 func (m *MmapBackend) Rollback() { m.fb.Rollback() }
 
+// SnapshotEnter implements Snapshotter, forwarded to the page file.
+func (m *MmapBackend) SnapshotEnter() uint64 { return m.fb.SnapshotEnter() }
+
+// SnapshotLeave implements Snapshotter, forwarded to the page file.
+func (m *MmapBackend) SnapshotLeave(epoch uint64) { m.fb.SnapshotLeave(epoch) }
+
+// SnapshotAdvance implements Snapshotter, forwarded to the page file.
+func (m *MmapBackend) SnapshotAdvance() { m.fb.SnapshotAdvance() }
+
+// SnapshotStats implements Snapshotter, forwarded to the page file.
+func (m *MmapBackend) SnapshotStats() SnapshotStats { return m.fb.SnapshotStats() }
+
 // Sync implements Backend: checkpoint, then remap so pages appended since
 // the last map become zero-copy too.
 func (m *MmapBackend) Sync() error {

@@ -49,8 +49,11 @@ package prtree
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"prtree/internal/bulk"
+	"prtree/internal/compact"
 	"prtree/internal/geom"
 	"prtree/internal/logmethod"
 	"prtree/internal/rtree"
@@ -69,6 +72,11 @@ type QueryStats = rtree.QueryStats
 
 // IOStats counts block reads and writes on the tree's storage backend.
 type IOStats = storage.Stats
+
+// SnapshotStats reports the storage layer's epoch state: the current
+// snapshot epoch, how many readers hold snapshots, and how many freed
+// pages are pinned (withheld from reuse) until those readers drain.
+type SnapshotStats = storage.SnapshotStats
 
 // NewRect builds a rectangle from two corners in any order.
 func NewRect(x1, y1, x2, y2 float64) Rect { return geom.NewRect(x1, y1, x2, y2) }
@@ -159,6 +167,19 @@ type Options struct {
 	// to GOMAXPROCS; 0 or 1 means serial). The built tree and the
 	// backend's I/O counts are identical at every setting.
 	Parallelism int
+	// BackgroundCompaction moves the dynamic index's logarithmic-method
+	// merges off the insert path: a supervisor goroutine (internal/compact)
+	// rebuilds full components on the side while readers keep serving the
+	// old ones, and installs the result as one committed transaction.
+	// Inserts then stall for at most a buffer handoff instead of a full
+	// level rebuild. Honored by NewDynamic, CreateDynamic and OpenDynamic;
+	// ignored by the static-tree constructors.
+	BackgroundCompaction bool
+	// CompactionMaxBuffer bounds insert-buffer growth while a background
+	// merge is in flight: InsertE applies backpressure once the buffer
+	// holds this many items (default 8× the component base size). Only
+	// meaningful with BackgroundCompaction.
+	CompactionMaxBuffer int
 	// Backend supplies the block store trees are built on. nil (the
 	// default) means a fresh in-memory simulator of BlockSize-byte
 	// blocks. Bulk, BulkWith and NewDynamic honor it; Create and Open
@@ -298,26 +319,48 @@ func (t *Tree) BulkLoad(l Loader, items []Item) error {
 	return nil
 }
 
-// Insert adds an item with the configured dynamic-update heuristic. Note
-// the paper's caveat: updates do not maintain the PR-tree's worst-case
-// query guarantee; use Dynamic for guaranteed bounds under updates.
+// InsertE adds an item with the configured dynamic-update heuristic and
+// returns the transaction error, if any. Note the paper's caveat: updates
+// do not maintain the PR-tree's worst-case query guarantee; use Dynamic
+// for guaranteed bounds under updates.
 //
-// On a durable backend the insert is one committed transaction; a commit
-// failure panics (Insert predates the error return), carrying the
-// underlying error.
-func (t *Tree) Insert(it Item) {
+// On a durable backend the insert is one committed transaction. A non-nil
+// error means the commit did not become durable and the backend rolled
+// back to the last committed state; this Tree value's in-memory structure
+// has already mutated and must be reopened.
+func (t *Tree) InsertE(it Item) error {
 	if err := t.mutate(func() { t.inner.Insert(it) }); err != nil {
-		panic(fmt.Errorf("prtree: insert: %w", err))
+		return fmt.Errorf("prtree: insert: %w", err)
+	}
+	return nil
+}
+
+// Insert is InsertE for callers that treat a durable-commit failure as
+// fatal: it panics, carrying the underlying error. It remains the
+// ergonomic default for in-memory backends, where the transaction hooks
+// are no-ops and the panic is unreachable.
+func (t *Tree) Insert(it Item) {
+	if err := t.InsertE(it); err != nil {
+		panic(err)
 	}
 }
 
-// Delete removes the item with matching rect and id, reporting success.
-// Like Insert it commits as one transaction on a durable backend and
-// panics on a commit failure.
-func (t *Tree) Delete(it Item) bool {
+// DeleteE removes the item with matching rect and id, reporting success
+// and the transaction error, if any. Error semantics match InsertE.
+func (t *Tree) DeleteE(it Item) (bool, error) {
 	var ok bool
 	if err := t.mutate(func() { ok = t.inner.Delete(it) }); err != nil {
-		panic(fmt.Errorf("prtree: delete: %w", err))
+		return false, fmt.Errorf("prtree: delete: %w", err)
+	}
+	return ok, nil
+}
+
+// Delete is DeleteE for callers that treat a durable-commit failure as
+// fatal: it panics, carrying the underlying error.
+func (t *Tree) Delete(it Item) bool {
+	ok, err := t.DeleteE(it)
+	if err != nil {
+		panic(err)
 	}
 	return ok
 }
@@ -358,6 +401,12 @@ func (t *Tree) ResetIOStats() { t.io.ResetStats() }
 // while queries run.
 func (t *Tree) CacheStats() CacheStats { return t.pager.CacheStats() }
 
+// SnapshotStats returns the backend's snapshot-epoch state. Safe to call
+// while queries run.
+func (t *Tree) SnapshotStats() SnapshotStats {
+	return storage.EnsureSnapshotter(t.io).SnapshotStats()
+}
+
 // PinInternal pins every internal node in the page cache, reproducing the
 // paper's measurement setup where query I/O equals leaf blocks fetched.
 // It returns the number of pinned pages.
@@ -397,14 +446,36 @@ func Load(r io.Reader, opts *Options) (*Tree, error) {
 // Dynamic is a fully dynamic spatial index with the PR-tree query bound,
 // built on the external logarithmic method the paper proposes for updates
 // (Sections 1.2 and 4).
+//
+// The read path (Query, Search, SearchPoint, SearchContained,
+// NearestNeighbors, SearchBatch, Len) is safe for many concurrent
+// goroutines and never blocks on writers: each query runs against an
+// immutable copy-on-write snapshot of the component directory, and the
+// storage layer's epoch pins keep a snapshot's pages byte-stable until its
+// last reader drains. Writers (InsertE, DeleteE, FlushE) serialize among
+// themselves. With Options.BackgroundCompaction the component merges run
+// on a supervisor goroutine (see CompactionStats) instead of inside
+// InsertE.
 type Dynamic struct {
 	inner *logmethod.Tree
 	io    *storage.Counting
 	pager *storage.Pager
+
+	wmu      sync.Mutex // serializes writer transaction brackets
+	comp     *compact.Compactor
+	persist  bool   // file-backed: stage the directory blob each commit
+	path     string // index file path; "" for non-file backends
+	closed   bool
+	recovery *storage.RecoveryInfo
 }
 
 // DynamicStats mirrors logmethod query statistics.
 type DynamicStats = logmethod.QueryStats
+
+// CompactionStats is the background compactor's counter snapshot — merge
+// outcomes, items rewritten vs newly absorbed (write amplification), and
+// the storage layer's snapshot-epoch state.
+type CompactionStats = compact.Stats
 
 // NewDynamic creates an empty dynamic index on the backend from opts (a
 // fresh in-memory simulator when unset). opts may be nil.
@@ -420,14 +491,45 @@ func NewDynamic(opts *Options) *Dynamic {
 		Layout:      o.Layout,
 		MemoryItems: o.MemoryItems,
 	}, 0)
-	return &Dynamic{inner: inner, io: counting, pager: pager}
+	d := &Dynamic{inner: inner, io: counting, pager: pager}
+	d.startCompaction(o)
+	return d
 }
 
-// Close releases the index's background resources (the prefetch worker
-// pool, when Options.Prefetch enabled one) and closes the backend. Using
-// the index after Close is invalid.
+// startCompaction wires and launches the background compactor when the
+// options ask for one. The compactor's install commits run through the
+// same wmu-serialized transaction bracket as InsertE/DeleteE.
+func (d *Dynamic) startCompaction(o Options) {
+	if !o.BackgroundCompaction {
+		return
+	}
+	d.comp = compact.New(compact.Config{
+		Tree:      d.inner,
+		Commit:    d.mutate,
+		Backend:   d.io,
+		MaxBuffer: o.CompactionMaxBuffer,
+	})
+	d.comp.Start()
+}
+
+// Close stops the background compactor (waiting for an in-flight merge to
+// land or abort), releases the prefetch worker pool, persists a
+// file-backed index in place and closes the backend. Using the index
+// after Close is invalid. Closing twice is a no-op.
 func (d *Dynamic) Close() error {
+	if d.closed {
+		return nil
+	}
+	if d.comp != nil {
+		d.comp.Stop()
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	d.closed = true
 	d.pager.Close()
+	if d.persist {
+		d.io.SetMeta(d.inner.SaveState(d.io))
+	}
 	if err := d.io.Close(); err != nil {
 		return fmt.Errorf("prtree: close: %w", err)
 	}
@@ -435,9 +537,16 @@ func (d *Dynamic) Close() error {
 }
 
 // mutate is Tree.mutate for the dynamic index: one backend transaction
-// per mutation batch. The logarithmic method keeps its own component
-// directory in memory, so no metadata blob is staged.
+// per mutation batch, serialized against every other writer (including
+// the background compactor's install commit). On a file-backed index the
+// refreshed component directory is staged inside the same transaction, so
+// the directory swap and the page writes commit atomically.
 func (d *Dynamic) mutate(fn func()) error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.closed {
+		return fmt.Errorf("prtree: index is closed")
+	}
 	tx := storage.EnsureTransactional(d.io)
 	tx.Begin()
 	done := false
@@ -447,6 +556,9 @@ func (d *Dynamic) mutate(fn func()) error {
 		}
 	}()
 	fn()
+	if d.persist {
+		d.io.SetMeta(d.inner.SaveState(d.io))
+	}
 	done = true
 	if err := tx.Commit(); err != nil {
 		tx.Rollback()
@@ -455,22 +567,48 @@ func (d *Dynamic) mutate(fn func()) error {
 	return nil
 }
 
-// Insert adds an item (amortized O((log_{M/B} N)(log2 N)/B) block I/Os).
-// On a durable backend the insert — including any component rebuild the
-// logarithmic method triggers — commits as one transaction; a commit
-// failure panics, carrying the underlying error.
-func (d *Dynamic) Insert(it Item) {
+// InsertE adds an item (amortized O((log_{M/B} N)(log2 N)/B) block I/Os)
+// and returns the transaction error, if any. On a durable backend the
+// insert — including any component rebuild the logarithmic method
+// triggers — commits as one transaction. With background compaction the
+// rebuild work happens off this path; InsertE only blocks (briefly) when
+// the insert buffer is at its in-flight-merge bound.
+func (d *Dynamic) InsertE(it Item) error {
+	if c := d.comp; c != nil {
+		// Backpressure outside the transaction bracket: the in-flight
+		// merge needs its own transaction to land.
+		c.Throttle()
+	}
 	if err := d.mutate(func() { d.inner.Insert(it) }); err != nil {
-		panic(fmt.Errorf("prtree: dynamic insert: %w", err))
+		return fmt.Errorf("prtree: dynamic insert: %w", err)
+	}
+	return nil
+}
+
+// Insert is InsertE for callers that treat a durable-commit failure as
+// fatal: it panics, carrying the underlying error.
+func (d *Dynamic) Insert(it Item) {
+	if err := d.InsertE(it); err != nil {
+		panic(err)
 	}
 }
 
-// Delete removes an item by (rect, id), reporting success. Transactional
-// like Insert.
-func (d *Dynamic) Delete(it Item) bool {
+// DeleteE removes an item by (rect, id), reporting success and the
+// transaction error, if any. Transactional like InsertE.
+func (d *Dynamic) DeleteE(it Item) (bool, error) {
 	var ok bool
 	if err := d.mutate(func() { ok = d.inner.Delete(it) }); err != nil {
-		panic(fmt.Errorf("prtree: dynamic delete: %w", err))
+		return false, fmt.Errorf("prtree: dynamic delete: %w", err)
+	}
+	return ok, nil
+}
+
+// Delete is DeleteE for callers that treat a durable-commit failure as
+// fatal: it panics, carrying the underlying error.
+func (d *Dynamic) Delete(it Item) bool {
+	ok, err := d.DeleteE(it)
+	if err != nil {
+		panic(err)
 	}
 	return ok
 }
@@ -483,15 +621,117 @@ func (d *Dynamic) Query(q Rect, fn func(Item) bool) DynamicStats {
 // Search returns all live items intersecting q.
 func (d *Dynamic) Search(q Rect) []Item { return d.inner.QueryCollect(q) }
 
+// SearchPoint returns all live items containing the point (x, y).
+func (d *Dynamic) SearchPoint(x, y float64) []Item {
+	var out []Item
+	d.inner.Query(Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// SearchContained returns all live items fully contained in q.
+func (d *Dynamic) SearchContained(q Rect) []Item {
+	var out []Item
+	d.inner.Contained(q, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// NearestNeighbors returns the k live items nearest to (x, y) by MBR
+// distance, closest first (ties broken by item ID).
+func (d *Dynamic) NearestNeighbors(x, y float64, k int) []Neighbor {
+	return d.inner.Nearest(x, y, k)
+}
+
+// SearchBatch runs the window queries across a bounded worker pool
+// (workers clamped to [1, len(queries)]) and returns the per-query result
+// slices in input order, identical to running each Search sequentially.
+// All queries observe the same kind of snapshot isolation as single
+// queries; a concurrent writer's mutations are each either fully visible
+// to a given query or not at all.
+func (d *Dynamic) SearchBatch(queries []Rect, workers int) [][]Item {
+	out := make([][]Item, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var next atomic.Uint32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = d.inner.QueryCollect(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // Len returns the number of live items.
 func (d *Dynamic) Len() int { return d.inner.Len() }
 
-// Flush compacts the structure into a single static PR-tree, as one
-// committed transaction on a durable backend (panics on commit failure).
-func (d *Dynamic) Flush() {
-	if err := d.mutate(func() { d.inner.Flush() }); err != nil {
-		panic(fmt.Errorf("prtree: dynamic flush: %w", err))
+// BufferLen returns the number of items in the insert buffer (the
+// un-merged component the logarithmic method fills first).
+func (d *Dynamic) BufferLen() int { return d.inner.BufferLen() }
+
+// Base returns the insert buffer's capacity (the logarithmic method's
+// component base): level i holds about Base()<<i items.
+func (d *Dynamic) Base() int { return d.inner.Base() }
+
+// LevelSizes returns the item count of each component level, smallest
+// first; empty slots are 0.
+func (d *Dynamic) LevelSizes() []int { return d.inner.LevelSizes() }
+
+// FlushE compacts the structure into a single static PR-tree, as one
+// committed transaction on a durable backend. With background compaction
+// it first waits for any in-flight merge to land and holds the compactor
+// paused for the duration.
+func (d *Dynamic) FlushE() error {
+	if c := d.comp; c != nil {
+		release := c.Drain()
+		defer release()
 	}
+	if err := d.mutate(func() { d.inner.Flush() }); err != nil {
+		return fmt.Errorf("prtree: dynamic flush: %w", err)
+	}
+	return nil
+}
+
+// Flush is FlushE for callers that treat a durable-commit failure as
+// fatal: it panics, carrying the underlying error.
+func (d *Dynamic) Flush() {
+	if err := d.FlushE(); err != nil {
+		panic(err)
+	}
+}
+
+// CompactionStats returns the background compactor's counters plus the
+// storage layer's snapshot-epoch state. Without BackgroundCompaction the
+// merge counters are zero and only the epoch state is populated.
+func (d *Dynamic) CompactionStats() CompactionStats {
+	if d.comp != nil {
+		return d.comp.Stats()
+	}
+	var st CompactionStats
+	snap := storage.EnsureSnapshotter(d.io).SnapshotStats()
+	st.Epoch, st.PinnedPages, st.SnapshotReaders = snap.Epoch, snap.PinnedPages, snap.Readers
+	return st
 }
 
 // IOStats returns cumulative block reads/writes on the index's backend.
